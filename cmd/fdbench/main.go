@@ -1,0 +1,68 @@
+// Command fdbench regenerates the tables and figures of the paper's
+// evaluation on the synthetic stand-in datasets.
+//
+// Usage:
+//
+//	fdbench -list
+//	fdbench -exp table3        # one experiment
+//	fdbench -exp all           # everything, in paper order
+//	fdbench -exp fig6 -budget 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"eulerfd/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "", "experiment id (table3, fig6..fig11, table5, all)")
+	budget := fs.Duration("budget", 2*time.Minute, "per-cell time budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, id := range bench.ExperimentIDs {
+			fmt.Fprintln(stdout, id)
+		}
+		return 0
+	}
+	if *exp == "" {
+		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
+		return 2
+	}
+
+	runner := bench.NewRunner()
+	runner.Budget = *budget
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs
+	}
+	for i, id := range ids {
+		fn, ok := bench.Experiments[id]
+		if !ok {
+			fmt.Fprintf(stderr, "fdbench: unknown experiment %q (see -list)\n", id)
+			return 2
+		}
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		start := time.Now()
+		fn(stdout, runner)
+		fmt.Fprintf(stdout, "[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, id := range []string{"table3", "fig6", "fig11", "table5"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %q", id)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{}, &out, &errw); code != 2 {
+		t.Errorf("no -exp: exit %d", code)
+	}
+	if code := run([]string{"-exp", "nope"}, &out, &errw); code != 2 {
+		t.Errorf("unknown exp: exit %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,203 @@
+// Command fddiscover runs FD discovery on a CSV file.
+//
+// Usage:
+//
+//	fddiscover [flags] file.csv
+//
+//	-algo euler|aidfd|hyfd|tane|fun|dfd|fdep|depminer|fastfds|kivinen
+//	-sep ';'                           field separator (default ',')
+//	-no-header                         first row is data, not attribute names
+//	-th 0.01                           EulerFD/AID-FD growth-rate threshold
+//	-queues 6                          EulerFD MLFQ depth
+//	-exhaustive                        EulerFD: sample every window (exact)
+//	-stats                             print run statistics to stderr
+//	-check                             also run the exact oracle and report F1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"eulerfd/internal/aidfd"
+	"eulerfd/internal/core"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/depminer"
+	"eulerfd/internal/dfd"
+	"eulerfd/internal/fastfds"
+	"eulerfd/internal/fdep"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/fun"
+	"eulerfd/internal/hyfd"
+	"eulerfd/internal/kivinen"
+	"eulerfd/internal/metrics"
+	"eulerfd/internal/tane"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fdDoc is the -json output shape of one dependency.
+type fdDoc struct {
+	LHS []string `json:"lhs"`
+	RHS string   `json:"rhs"`
+}
+
+func attrName(attrs []string, i int) string {
+	if i >= 0 && i < len(attrs) {
+		return attrs[i]
+	}
+	return fmt.Sprintf("#%d", i)
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fddiscover", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "euler", "algorithm: euler, aidfd, hyfd, tane, fun, dfd, fdep, depminer, fastfds, kivinen")
+	sep := fs.String("sep", ",", "field separator")
+	noHeader := fs.Bool("no-header", false, "treat the first row as data")
+	th := fs.Float64("th", 0.01, "growth-rate threshold (euler, aidfd)")
+	queues := fs.Int("queues", 6, "EulerFD MLFQ queue count")
+	exhaustive := fs.Bool("exhaustive", false, "EulerFD: exhaust all sampling windows (exact)")
+	workers := fs.Int("workers", 0, "EulerFD: parallel inversion workers (0 = sequential)")
+	stats := fs.Bool("stats", false, "print run statistics to stderr")
+	check := fs.Bool("check", false, "run the exact oracle too and report F1")
+	asJSON := fs.Bool("json", false, "emit the FDs as a JSON array")
+	target := fs.String("target", "", "only print FDs whose RHS is this attribute (the DMS sensitive-attribute query)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: fddiscover [flags] file.csv")
+		fs.PrintDefaults()
+		return 2
+	}
+	opt := dataset.DefaultCSVOptions()
+	opt.HasHeader = !*noHeader
+	if len(*sep) != 1 {
+		fmt.Fprintln(stderr, "fddiscover: -sep must be a single character")
+		return 2
+	}
+	opt.Comma = rune((*sep)[0])
+
+	rel, err := dataset.ReadCSVFile(fs.Arg(0), opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 1
+	}
+
+	start := time.Now()
+	var fds *fdset.Set
+	var detail string
+	switch *algo {
+	case "euler":
+		o := core.DefaultOptions()
+		o.ThNcover, o.ThPcover = *th, *th
+		o.NumQueues = *queues
+		o.ExhaustWindows = *exhaustive
+		o.Workers = *workers
+		var st core.Stats
+		fds, st, err = core.Discover(rel, o)
+		detail = st.String()
+	case "aidfd":
+		var st aidfd.Stats
+		fds, st, err = aidfd.Discover(rel, aidfd.Options{ThNcover: *th})
+		detail = fmt.Sprintf("pairs=%d rounds=%d ncover=%d", st.PairsCompared, st.Rounds, st.NcoverSize)
+	case "hyfd":
+		var st hyfd.Stats
+		fds, st, err = hyfd.Discover(rel, hyfd.DefaultOptions())
+		detail = fmt.Sprintf("pairs=%d validations=%d switchbacks=%d", st.PairsCompared, st.Validations, st.SwitchBacks)
+	case "tane":
+		var st tane.Stats
+		fds, st, err = tane.Discover(rel)
+		detail = fmt.Sprintf("levels=%d nodes=%d", st.Levels, st.NodesVisited)
+	case "fdep":
+		var st fdep.Stats
+		fds, st, err = fdep.Discover(rel)
+		detail = fmt.Sprintf("pairs=%d agreeSets=%d", st.PairsCompared, st.AgreeSets)
+	case "fun":
+		var st fun.Stats
+		fds, st, err = fun.Discover(rel)
+		detail = fmt.Sprintf("freeSets=%d levels=%d", st.FreeSets, st.Levels)
+	case "dfd":
+		var st dfd.Stats
+		fds, st, err = dfd.Discover(rel)
+		detail = fmt.Sprintf("validations=%d walkSteps=%d restarts=%d", st.Validations, st.WalkSteps, st.Restarts)
+	case "depminer":
+		var st depminer.Stats
+		fds, st, err = depminer.Discover(rel)
+		detail = fmt.Sprintf("agreeSets=%d maxSets=%d levels=%d", st.AgreeSets, st.MaxSets, st.Levels)
+	case "fastfds":
+		var st fastfds.Stats
+		fds, st, err = fastfds.Discover(rel)
+		detail = fmt.Sprintf("diffSets=%d searchNodes=%d", st.DiffSets, st.SearchNodes)
+	case "kivinen":
+		var st kivinen.Stats
+		fds, st, err = kivinen.Discover(rel, kivinen.DefaultOptions())
+		detail = fmt.Sprintf("sample=%d agreeSets=%d", st.SampleSize, st.AgreeSets)
+	default:
+		fmt.Fprintf(stderr, "fddiscover: unknown algorithm %q\n", *algo)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	if *target != "" {
+		rhs := rel.AttrIndex(*target)
+		if rhs < 0 {
+			fmt.Fprintf(stderr, "fddiscover: unknown attribute %q\n", *target)
+			return 2
+		}
+		filtered := fdset.NewSet()
+		fds.ForEach(func(fd fdset.FD) {
+			if fd.RHS == rhs {
+				filtered.Add(fd)
+			}
+		})
+		fds = filtered
+	}
+
+	if *asJSON {
+		docs := make([]fdDoc, 0, fds.Len())
+		for _, fd := range fds.Slice() {
+			d := fdDoc{RHS: attrName(rel.Attrs, fd.RHS), LHS: []string{}}
+			for _, a := range fd.LHS.Attrs() {
+				d.LHS = append(d.LHS, attrName(rel.Attrs, a))
+			}
+			docs = append(docs, d)
+		}
+		encJSON := json.NewEncoder(stdout)
+		encJSON.SetIndent("", "  ")
+		if err := encJSON.Encode(docs); err != nil {
+			fmt.Fprintln(stderr, "fddiscover:", err)
+			return 1
+		}
+	} else {
+		for _, fd := range fds.Slice() {
+			fmt.Fprintln(stdout, fd.Format(rel.Attrs))
+		}
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "%s: %d rows × %d cols, %d FDs in %s (%s)\n",
+			*algo, rel.NumRows(), rel.NumCols(), fds.Len(), elapsed.Round(time.Microsecond), detail)
+	}
+	if *check {
+		truth, _, err := hyfd.Discover(rel, hyfd.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(stderr, "fddiscover: oracle:", err)
+			return 1
+		}
+		r := metrics.Evaluate(fds, truth)
+		fmt.Fprintf(stderr, "accuracy vs exact (%d FDs): precision=%.4f recall=%.4f F1=%.4f\n",
+			truth.Len(), r.Precision, r.Recall, r.F1)
+	}
+	return 0
+}

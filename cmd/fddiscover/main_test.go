@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const simpleCSV = "A,B,C\n1,x,p\n2,y,q\n1,x,r\n2,y,s\n"
+
+func TestRunEveryAlgorithm(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	for _, algo := range []string{"euler", "aidfd", "hyfd", "tane", "fun", "dfd", "fdep", "depminer", "fastfds", "kivinen"} {
+		var out, errw bytes.Buffer
+		code := run([]string{"-algo", algo, "-stats", path}, &out, &errw)
+		if code != 0 {
+			t.Fatalf("%s: exit %d, stderr: %s", algo, code, errw.String())
+		}
+		// A ↔ B in both directions; C is a key.
+		if !strings.Contains(out.String(), "[A] -> B") {
+			t.Errorf("%s output missing [A] -> B:\n%s", algo, out.String())
+		}
+		if !strings.Contains(errw.String(), algo+":") {
+			t.Errorf("%s: -stats not printed", algo)
+		}
+	}
+}
+
+func TestRunCheckReportsF1(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-check", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "F1=") {
+		t.Errorf("-check output missing F1: %s", errw.String())
+	}
+}
+
+func TestRunExhaustiveAndThreshold(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-exhaustive", "-th", "0", "-queues", "3", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+}
+
+func TestRunNoHeaderAndSep(t *testing.T) {
+	path := writeCSV(t, "1;x\n2;y\n1;x\n")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-header", "-sep", ";", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "[col0] -> col1") {
+		t.Errorf("output: %s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no file", []string{}, 2},
+		{"bad algo", []string{"-algo", "nope", path}, 2},
+		{"bad sep", []string{"-sep", "ab", path}, 2},
+		{"missing file", []string{filepath.Join(t.TempDir(), "nope.csv")}, 1},
+		{"bad flag", []string{"-definitely-not-a-flag"}, 2},
+	}
+	for _, c := range cases {
+		var out, errw bytes.Buffer
+		if code := run(c.args, &out, &errw); code != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", c.name, code, c.code, errw.String())
+		}
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-json", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	var docs []struct {
+		LHS []string `json:"lhs"`
+		RHS string   `json:"rhs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	found := false
+	for _, d := range docs {
+		if d.RHS == "B" && len(d.LHS) == 1 && d.LHS[0] == "A" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON missing A -> B: %s", out.String())
+	}
+}
+
+func TestRunTargetFilter(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-target", "B", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if !strings.HasSuffix(line, "-> B") {
+			t.Errorf("non-target FD in output: %q", line)
+		}
+	}
+	if code := run([]string{"-target", "Zzz", path}, &out, &errw); code != 2 {
+		t.Errorf("unknown target: exit %d", code)
+	}
+}
+
+func TestRunWorkersFlag(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-workers", "4", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "-> B") {
+		t.Errorf("output: %s", out.String())
+	}
+}

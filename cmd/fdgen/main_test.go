@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/dataset"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"iris", "uniprot", "fd-reduced-30", "unknown"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+}
+
+func TestRunSingleDatasetWithRowOverride(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-out", dir, "-dataset", "iris", "-rows", "50"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	rel, err := dataset.ReadCSVFile(filepath.Join(dir, "iris.csv"), dataset.DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 50 || rel.NumCols() != 5 {
+		t.Errorf("generated %dx%d", rel.NumRows(), rel.NumCols())
+	}
+}
+
+func TestRunAllDatasets(t *testing.T) {
+	dir := t.TempDir()
+	var out, errw bytes.Buffer
+	if code := run([]string{"-out", dir, "-rows", "20"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 19 {
+		t.Errorf("wrote %d files, want 19", len(entries))
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{}, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d", code)
+	}
+	if code := run([]string{"-out", t.TempDir(), "-dataset", "nope"}, &out, &errw); code != 1 {
+		t.Errorf("unknown dataset: exit %d", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
+		t.Errorf("bad flag: exit %d", code)
+	}
+}

@@ -1,0 +1,286 @@
+// Package eulerfd discovers functional dependencies (FDs) in relational
+// data. It implements EulerFD (Lin et al., ICDE 2023), an efficient
+// double-cycle approximate discovery algorithm, together with the exact
+// and approximate baselines from the paper's evaluation: TANE, Fdep,
+// HyFD, and AID-FD.
+//
+// # Quick start
+//
+//	rel, err := eulerfd.ReadCSVFile("people.csv", eulerfd.DefaultCSVOptions())
+//	if err != nil { ... }
+//	result, err := eulerfd.Discover(rel, eulerfd.DefaultOptions())
+//	if err != nil { ... }
+//	for _, fd := range result.FDs.Slice() {
+//	    fmt.Println(fd.Format(rel.Attrs))
+//	}
+//
+// EulerFD is approximate: it induces FDs from sampled violations and may
+// return a slightly over-general result on adversarial data, but it is
+// orders of magnitude faster than exact discovery on large relations.
+// Use Exact for a guaranteed-exact answer (HyFD under the hood), or set
+// Options.ExhaustWindows to make EulerFD itself exhaustive.
+package eulerfd
+
+import (
+	"fmt"
+	"io"
+
+	"eulerfd/internal/aidfd"
+	"eulerfd/internal/core"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/depminer"
+	"eulerfd/internal/dfd"
+	"eulerfd/internal/fastfds"
+	"eulerfd/internal/fdep"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/fun"
+	"eulerfd/internal/hyfd"
+	"eulerfd/internal/infer"
+	"eulerfd/internal/kivinen"
+	"eulerfd/internal/metrics"
+	"eulerfd/internal/preprocess"
+	"eulerfd/internal/tane"
+)
+
+// Re-exported value types. FD is a dependency LHS → RHS over attribute
+// indices; AttrSet is a bitset of attribute indices; Set is a collection
+// of FDs; Relation is string-valued tabular data.
+type (
+	// FD is a functional dependency: the attributes in LHS jointly
+	// determine the attribute RHS.
+	FD = fdset.FD
+	// AttrSet is a set of attribute indices.
+	AttrSet = fdset.AttrSet
+	// Set is a set of FDs.
+	Set = fdset.Set
+	// Relation is an in-memory relational instance.
+	Relation = dataset.Relation
+	// CSVOptions controls CSV parsing.
+	CSVOptions = dataset.CSVOptions
+	// Options configures the EulerFD algorithm.
+	Options = core.Options
+	// Stats describes the work performed by a discovery run.
+	Stats = core.Stats
+	// Accuracy reports precision/recall/F1 against a reference FD set.
+	Accuracy = metrics.Result
+)
+
+// NewFD builds an FD from LHS attribute indices and an RHS attribute.
+func NewFD(lhs []int, rhs int) FD { return fdset.NewFD(lhs, rhs) }
+
+// NewAttrSet builds an attribute set from indices.
+func NewAttrSet(attrs ...int) AttrSet { return fdset.NewAttrSet(attrs...) }
+
+// NewRelation builds a validated relation from a schema and rows.
+func NewRelation(name string, attrs []string, rows [][]string) (*Relation, error) {
+	return dataset.New(name, attrs, rows)
+}
+
+// DefaultOptions returns the paper's EulerFD configuration: thresholds
+// Th_Ncover = Th_Pcover = 0.01 and a six-queue MLFQ.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// DefaultCSVOptions parses comma-separated data with a header row,
+// treating "NULL" and "?" as nulls.
+func DefaultCSVOptions() CSVOptions { return dataset.DefaultCSVOptions() }
+
+// ReadCSV parses a relation from a reader.
+func ReadCSV(name string, r io.Reader, opt CSVOptions) (*Relation, error) {
+	return dataset.ReadCSV(name, r, opt)
+}
+
+// ReadCSVFile parses a relation from a CSV file.
+func ReadCSVFile(path string, opt CSVOptions) (*Relation, error) {
+	return dataset.ReadCSVFile(path, opt)
+}
+
+// WriteCSVFile writes a relation to a CSV file with a header row.
+func WriteCSVFile(path string, r *Relation) error {
+	return dataset.WriteCSVFile(path, r)
+}
+
+// Result is the outcome of a discovery run: the minimal non-trivial FDs
+// found and execution statistics.
+type Result struct {
+	FDs   *Set
+	Stats Stats
+}
+
+// Incremental maintains an EulerFD result across appended row batches —
+// the DMS deployment pattern, where relations grow by periodic imports.
+// Construct with NewIncremental, feed batches with Append, read the
+// current result with FDs.
+type Incremental = core.Incremental
+
+// NewIncremental prepares incremental EulerFD discovery over a schema.
+func NewIncremental(name string, attrs []string, opt Options) (*Incremental, error) {
+	return core.NewIncremental(name, attrs, opt)
+}
+
+// Discover runs EulerFD on a relation with the given options.
+func Discover(rel *Relation, opt Options) (Result, error) {
+	fds, stats, err := core.Discover(rel, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{FDs: fds, Stats: stats}, nil
+}
+
+// Exact returns the exact set of minimal non-trivial FDs using the HyFD
+// hybrid algorithm, the fastest exact method in this library.
+func Exact(rel *Relation) (*Set, error) {
+	fds, _, err := hyfd.Discover(rel, hyfd.DefaultOptions())
+	return fds, err
+}
+
+// ExactTANE returns the exact FD set via level-wise lattice traversal.
+// It scales well in rows but poorly in columns; exposed mainly for
+// cross-checking and benchmarking.
+func ExactTANE(rel *Relation) (*Set, error) {
+	fds, _, err := tane.Discover(rel)
+	return fds, err
+}
+
+// ExactFdep returns the exact FD set via full pairwise induction. It
+// scales well in columns but quadratically in rows.
+func ExactFdep(rel *Relation) (*Set, error) {
+	fds, _, err := fdep.Discover(rel)
+	return fds, err
+}
+
+// ExactDfd returns the exact FD set via depth-first random-walk lattice
+// traversal (Dfd).
+func ExactDfd(rel *Relation) (*Set, error) {
+	fds, _, err := dfd.Discover(rel)
+	return fds, err
+}
+
+// ExactFun returns the exact FD set via free-set lattice traversal (Fun).
+func ExactFun(rel *Relation) (*Set, error) {
+	fds, _, err := fun.Discover(rel)
+	return fds, err
+}
+
+// ExactDepMiner returns the exact FD set via agree-set maximization and
+// levelwise minimal-transversal search (Dep-Miner).
+func ExactDepMiner(rel *Relation) (*Set, error) {
+	fds, _, err := depminer.Discover(rel)
+	return fds, err
+}
+
+// ExactFastFDs returns the exact FD set via depth-first minimal-cover
+// search over difference sets (FastFDs).
+func ExactFastFDs(rel *Relation) (*Set, error) {
+	fds, _, err := fastfds.Discover(rel)
+	return fds, err
+}
+
+// DiscoverTolerant finds the minimal dependencies violated by at most a
+// maxErr fraction of tuples under the g₃ measure (error-tolerant FDs, as
+// in the original TANE): with maxErr = 0 it is exact discovery, while
+// small positive tolerances see through dirty rows. Distinct from
+// approximate *discovery* (EulerFD, AID-FD), which returns classical FDs
+// quickly at some risk of error.
+func DiscoverTolerant(rel *Relation, maxErr float64) (*Set, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	fds, _ := tane.DiscoverApprox(preprocess.Encode(rel), maxErr)
+	return fds, nil
+}
+
+// ApproxAIDFD runs the AID-FD baseline with its default threshold.
+func ApproxAIDFD(rel *Relation) (*Set, error) {
+	fds, _, err := aidfd.Discover(rel, aidfd.DefaultOptions())
+	return fds, err
+}
+
+// ApproxKivinen runs the Kivinen-Mannila random-pair sampler with its
+// default accuracy and confidence parameters.
+func ApproxKivinen(rel *Relation) (*Set, error) {
+	fds, _, err := kivinen.Discover(rel, kivinen.DefaultOptions())
+	return fds, err
+}
+
+// Evaluate scores a discovered FD set against a reference (typically from
+// Exact) as precision, recall, and F1.
+func Evaluate(discovered, truth *Set) Accuracy {
+	return metrics.Evaluate(discovered, truth)
+}
+
+// DependentsOf returns, for a sensitive attribute, every minimal LHS in
+// fds that determines it — the DMS data-obfuscation primitive: any such
+// LHS is a set of underlying sensitive attributes that must be protected
+// alongside the labeled one.
+func DependentsOf(fds *Set, sensitive int) []AttrSet {
+	var out []AttrSet
+	fds.ForEach(func(f FD) {
+		if f.RHS == sensitive {
+			out = append(out, f.LHS)
+		}
+	})
+	return out
+}
+
+// FDDoc is the JSON-friendly rendering of one dependency, with attribute
+// names resolved.
+type FDDoc struct {
+	LHS []string `json:"lhs"`
+	RHS string   `json:"rhs"`
+}
+
+// Docs renders an FD set against a schema for JSON output, in the
+// deterministic order of Set.Slice. Attribute indices outside the schema
+// render as "#i".
+func Docs(fds *Set, attrs []string) []FDDoc {
+	name := func(i int) string {
+		if i >= 0 && i < len(attrs) {
+			return attrs[i]
+		}
+		return "#" + fmt.Sprint(i)
+	}
+	out := make([]FDDoc, 0, fds.Len())
+	for _, f := range fds.Slice() {
+		doc := FDDoc{RHS: name(f.RHS), LHS: []string{}}
+		for _, a := range f.LHS.Attrs() {
+			doc.LHS = append(doc.LHS, name(a))
+		}
+		out = append(out, doc)
+	}
+	return out
+}
+
+// Closure returns x⁺: every attribute determined by x under fds, for a
+// schema of ncols attributes.
+func Closure(fds *Set, x AttrSet, ncols int) AttrSet {
+	return infer.Closure(fds, x, ncols)
+}
+
+// Implies reports whether fds logically imply x → a.
+func Implies(fds *Set, x AttrSet, a, ncols int) bool {
+	return infer.Implies(fds, x, a, ncols)
+}
+
+// IsSuperkey reports whether x determines the whole schema under fds.
+func IsSuperkey(fds *Set, x AttrSet, ncols int) bool {
+	return infer.IsSuperkey(fds, x, ncols)
+}
+
+// CandidateKeys enumerates the minimal keys of an ncols-attribute schema
+// under fds. It panics beyond 24 attributes (the enumeration is
+// exponential in the worst case).
+func CandidateKeys(fds *Set, ncols int) []AttrSet {
+	return infer.CandidateKeys(fds, ncols)
+}
+
+// BCNFViolation returns a discovered FD whose LHS is not a superkey, or
+// ok = false when the schema is in Boyce-Codd Normal Form under fds.
+func BCNFViolation(fds *Set, ncols int) (FD, bool) {
+	return infer.BCNFViolation(fds, ncols)
+}
+
+// Decompose splits an ncols-attribute schema along a BCNF-violating FD
+// into two lossless fragments (attribute sets).
+func Decompose(fds *Set, violation FD, ncols int) (left, right AttrSet) {
+	return infer.Decompose(fds, violation, ncols)
+}

@@ -1,0 +1,57 @@
+package eulerfd_test
+
+import (
+	"fmt"
+	"log"
+
+	"eulerfd"
+)
+
+// ExampleDiscover runs EulerFD on the paper's patient table (Table I) and
+// prints the discovered dependencies for the Medicine attribute.
+func ExampleDiscover() {
+	rel, err := eulerfd.NewRelation("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := eulerfd.Discover(rel, eulerfd.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	medicine := rel.AttrIndex("Medicine")
+	for _, fd := range res.FDs.Slice() {
+		if fd.RHS == medicine {
+			fmt.Println(fd.Format(rel.Attrs))
+		}
+	}
+	// Output:
+	// [Name] -> Medicine
+	// [Age BloodPressure] -> Medicine
+}
+
+// ExampleEvaluate scores an approximate result against the exact one.
+func ExampleEvaluate() {
+	rel, err := eulerfd.NewRelation("t", []string{"A", "B"},
+		[][]string{{"1", "x"}, {"2", "y"}, {"1", "x"}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, _ := eulerfd.Discover(rel, eulerfd.DefaultOptions())
+	exact, _ := eulerfd.Exact(rel)
+	acc := eulerfd.Evaluate(res.FDs, exact)
+	fmt.Printf("F1 = %.3f\n", acc.F1)
+	// Output:
+	// F1 = 1.000
+}

@@ -1,0 +1,51 @@
+// Command quickstart is the smallest end-to-end use of the eulerfd public
+// API: build a relation, discover its functional dependencies with
+// EulerFD, cross-check against the exact oracle, and print both.
+//
+// The data is the patient table from the paper's introduction (Table I).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"eulerfd"
+)
+
+func main() {
+	rel, err := eulerfd.NewRelation("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	result, err := eulerfd.Discover(rel, eulerfd.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("EulerFD found %d minimal FDs in %s (%d tuple pairs compared):\n",
+		result.FDs.Len(), result.Stats.Total, result.Stats.PairsCompared)
+	for _, fd := range result.FDs.Slice() {
+		fmt.Println("  ", fd.Format(rel.Attrs))
+	}
+
+	exact, err := eulerfd.Exact(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc := eulerfd.Evaluate(result.FDs, exact)
+	fmt.Printf("\nAgainst the exact result (%d FDs): precision=%.3f recall=%.3f F1=%.3f\n",
+		exact.Len(), acc.Precision, acc.Recall, acc.F1)
+}

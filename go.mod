@@ -1,0 +1,3 @@
+module eulerfd
+
+go 1.22

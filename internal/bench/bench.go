@@ -1,0 +1,159 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (Section V) on the synthetic
+// stand-in datasets: it runs (algorithm × dataset) cells, measures wall
+// time, scores F1 against the exact oracle, and renders paper-style rows.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"eulerfd/internal/aidfd"
+	"eulerfd/internal/core"
+	"eulerfd/internal/fdep"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/hyfd"
+	"eulerfd/internal/metrics"
+	"eulerfd/internal/preprocess"
+	"eulerfd/internal/tane"
+)
+
+// Algorithm names used across experiments.
+const (
+	AlgoTane    = "Tane"
+	AlgoFdep    = "Fdep"
+	AlgoHyFD    = "HyFD"
+	AlgoAIDFD   = "AID-FD"
+	AlgoEulerFD = "EulerFD"
+)
+
+// Cell is one (algorithm, dataset) measurement.
+type Cell struct {
+	Algo     string
+	Dataset  string
+	Rows     int
+	Cols     int
+	Time     time.Duration
+	FDs      int
+	F1       float64 // NaN-free: -1 when no ground truth is available
+	Pairs    int     // tuple pairs compared, when the algorithm reports it
+	Err      string  // "TL" when the time budget was exceeded, "" otherwise
+	HasTruth bool
+}
+
+// Runner executes algorithms on encoded relations under a time budget.
+type Runner struct {
+	// Budget is the per-cell wall-clock budget. Cells whose algorithm is
+	// predicted (by a prior run on the same dataset family) or measured
+	// to exceed it are marked "TL". Zero means no budget.
+	Budget time.Duration
+	// EulerOptions and AIDOptions configure the approximate algorithms.
+	EulerOptions core.Options
+	AIDOptions   aidfd.Options
+	// HyFDOptions configures the exact oracle and the HyFD row.
+	HyFDOptions hyfd.Options
+}
+
+// NewRunner returns a Runner with the paper's defaults.
+func NewRunner() *Runner {
+	return &Runner{
+		Budget:       2 * time.Minute,
+		EulerOptions: core.DefaultOptions(),
+		AIDOptions:   aidfd.DefaultOptions(),
+		HyFDOptions:  hyfd.DefaultOptions(),
+	}
+}
+
+// Run executes one algorithm on an encoded relation and returns the FD
+// set with timing. A nil FD set with Err = "TL" means the budget ran out
+// (detected after the fact; runs are not preempted).
+func (r *Runner) Run(algo string, enc *preprocess.Encoded) (fds *fdset.Set, elapsed time.Duration, err string) {
+	start := time.Now()
+	switch algo {
+	case AlgoTane:
+		fds, _ = tane.DiscoverEncoded(enc)
+	case AlgoFdep:
+		fds, _ = fdep.DiscoverEncoded(enc)
+	case AlgoHyFD:
+		fds, _ = hyfd.DiscoverEncoded(enc, r.HyFDOptions)
+	case AlgoAIDFD:
+		fds, _ = aidfd.DiscoverEncoded(enc, r.AIDOptions)
+	case AlgoEulerFD:
+		fds, _ = core.DiscoverEncoded(enc, r.EulerOptions)
+	default:
+		panic("bench: unknown algorithm " + algo)
+	}
+	elapsed = time.Since(start)
+	if r.Budget > 0 && elapsed > r.Budget {
+		return nil, elapsed, "TL"
+	}
+	return fds, elapsed, ""
+}
+
+// Measure runs an algorithm and scores it against the given truth (nil
+// truth means no F1 is reported).
+func (r *Runner) Measure(algo string, enc *preprocess.Encoded, truth *fdset.Set) Cell {
+	fds, elapsed, errStr := r.Run(algo, enc)
+	c := Cell{
+		Algo: algo, Dataset: enc.Name,
+		Rows: enc.NumRows, Cols: len(enc.Attrs),
+		Time: elapsed, Err: errStr,
+	}
+	if fds != nil {
+		c.FDs = fds.Len()
+		if truth != nil {
+			c.F1 = metrics.Evaluate(fds, truth).F1
+			c.HasTruth = true
+		} else {
+			c.F1 = -1
+		}
+	}
+	return c
+}
+
+// Truth computes the exact FD set via HyFD, the ground-truth oracle of
+// the harness (cross-checked against TANE, Fdep, and the brute-force
+// oracle in the test suite).
+func (r *Runner) Truth(enc *preprocess.Encoded) *fdset.Set {
+	fds, _ := hyfd.DiscoverEncoded(enc, r.HyFDOptions)
+	return fds
+}
+
+// FmtTime renders a duration in the paper's seconds-with-millis style.
+func FmtTime(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+// FmtF1 renders an F1 score, or "-" when unavailable.
+func FmtF1(c Cell) string {
+	if !c.HasTruth {
+		return "-"
+	}
+	return fmt.Sprintf("%.3f", c.F1)
+}
+
+// Table is a minimal fixed-width table writer for paper-style output.
+type Table struct {
+	w      io.Writer
+	widths []int
+}
+
+// NewTable writes a header row and remembers column widths.
+func NewTable(w io.Writer, headers []string, widths []int) *Table {
+	t := &Table{w: w, widths: widths}
+	t.Row(headers...)
+	return t
+}
+
+// Row writes one row, padding cells to the configured widths.
+func (t *Table) Row(cells ...string) {
+	for i, c := range cells {
+		width := 12
+		if i < len(t.widths) {
+			width = t.widths[i]
+		}
+		fmt.Fprintf(t.w, "%-*s", width, c)
+	}
+	fmt.Fprintln(t.w)
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eulerfd/internal/cover"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// Options configures EulerFD. The zero value is not meaningful; use
+// DefaultOptions (the paper's settings) and override fields as needed.
+type Options struct {
+	// ThNcover is the growth-rate threshold of the first cycle: while
+	// GR_Ncover exceeds it, EulerFD keeps sampling before inverting.
+	// Paper default 0.01.
+	ThNcover float64
+	// ThPcover is the growth-rate threshold of the second cycle: while
+	// GR_Pcover exceeds it, EulerFD returns to sampling after inversion.
+	// Paper default 0.01.
+	ThPcover float64
+	// NumQueues is the MLFQ depth (Table IV). Paper default 6.
+	NumQueues int
+	// RecentPasses is how many recent pass capas the requeue decision
+	// averages over. Default 3.
+	RecentPasses int
+	// BatchPairs bounds the pair comparisons of one internal sampling
+	// batch. The unit of the double cycle is a full MLFQ drain (Algorithm
+	// 1 runs until no cluster remains enqueued); BatchPairs only sizes
+	// the internal slices of a drain. 0 means effectively unbounded.
+	BatchPairs int
+	// MaxCycles caps second-cycle iterations as a safety valve; 0 means
+	// no cap (termination is then guaranteed by sampler exhaustion).
+	MaxCycles int
+	// ExhaustWindows disables capa-based cluster parking: every cluster
+	// stays in the MLFQ until all of its window sizes are consumed. With
+	// the ∅-seed this makes the result exact at the cost of comparing
+	// every intra-cluster pair; used for verification and ablations.
+	ExhaustWindows bool
+	// Workers shards inversion across goroutines by RHS attribute; values
+	// ≤ 1 keep the paper's sequential execution. The result is identical
+	// either way — per-RHS covers are independent.
+	Workers int
+	// DynamicCapaRanges enables runtime revision of the MLFQ capa ranges
+	// — the extension the paper's conclusion proposes as future work.
+	// Between sampling generations the queue thresholds are re-anchored
+	// at the highest recently observed capa, so cluster prioritization
+	// keeps discriminating even after absolute capa values decay below
+	// the static Table IV ladder.
+	DynamicCapaRanges bool
+}
+
+// DefaultOptions returns the configuration used throughout the paper's
+// evaluation: thresholds 0.01/0.01 and a 6-queue MLFQ.
+func DefaultOptions() Options {
+	return Options{
+		ThNcover:     0.01,
+		ThPcover:     0.01,
+		NumQueues:    6,
+		RecentPasses: 3,
+	}
+}
+
+func (o Options) withDefaults(numRows int) Options {
+	if o.NumQueues < 1 {
+		o.NumQueues = 6
+	}
+	if o.RecentPasses < 1 {
+		o.RecentPasses = 3
+	}
+	if o.BatchPairs < 1 {
+		o.BatchPairs = 1 << 30
+	}
+	_ = numRows
+	return o
+}
+
+// Stats reports what a discovery run did, for the experiment harness and
+// for diagnosing threshold settings.
+type Stats struct {
+	Rows, Cols    int
+	PairsCompared int
+	AgreeSets     int // distinct agree sets sampled
+	NcoverSize    int // maximal non-FDs stored
+	PcoverSize    int // minimal FDs output
+	SampleBatches int
+	Inversions    int // second-cycle iterations
+	Preprocess    time.Duration
+	Sampling      time.Duration
+	NcoverBuild   time.Duration
+	Inversion     time.Duration
+	Total         time.Duration
+}
+
+// Discover runs EulerFD on a relation and returns the approximate set of
+// minimal, non-trivial FDs.
+func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	start := time.Now()
+	enc := preprocess.Encode(rel)
+	fds, stats := DiscoverEncoded(enc, opt)
+	stats.Preprocess = time.Since(start) - stats.Sampling - stats.NcoverBuild - stats.Inversion
+	stats.Total = time.Since(start)
+	return fds, stats, nil
+}
+
+// DiscoverEncoded runs EulerFD on an already-encoded relation. It is the
+// entry point used by the benchmark harness, which pre-encodes datasets so
+// that per-algorithm timings exclude shared preprocessing.
+func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	opt = opt.withDefaults(enc.NumRows)
+	ncols := len(enc.Attrs)
+	stats := Stats{Rows: enc.NumRows, Cols: ncols}
+	if ncols == 0 {
+		return fdset.NewSet(), stats
+	}
+
+	sampler := NewSampler(enc, opt.NumQueues, opt.RecentPasses)
+	sampler.exhaustive = opt.ExhaustWindows
+	sampler.dynamicRanges = opt.DynamicCapaRanges
+
+	// Seed the negative cover with ∅ ↛ A for every non-constant attribute.
+	// Cluster-based sampling can only pair rows that agree somewhere, so
+	// the empty agree set is otherwise invisible; column cardinalities
+	// from preprocessing settle it exactly.
+	seed := make([]fdset.FD, 0, ncols)
+	for a := 0; a < ncols; a++ {
+		if enc.NumLabels[a] > 1 {
+			seed = append(seed, fdset.FD{LHS: fdset.EmptySet(), RHS: a})
+		}
+	}
+
+	// drain runs the sampling module to completion: Algorithm 1 loops
+	// until no cluster remains enqueued (productive clusters are requeued
+	// by capa; parked ones wait for a Reseed from the double cycle).
+	drain := func() []fdset.AttrSet {
+		t0 := time.Now()
+		defer func() { stats.Sampling += time.Since(t0) }()
+		var all []fdset.AttrSet
+		for {
+			got := sampler.Batch(opt.BatchPairs)
+			all = append(all, got...)
+			stats.SampleBatches++
+			if sampler.queue.Len() == 0 {
+				return all
+			}
+		}
+	}
+
+	// First sampling drain, from which the attribute-frequency split rank
+	// of the cover trees is derived (Algorithm 2, Line 1).
+	agrees := drain()
+	first := nonFDsOf(agrees, ncols)
+	rank := cover.AttrFrequencyRank(ncols, first)
+	ncover := cover.NewNCover(ncols, rank)
+	pcover := cover.NewPCover(ncols, rank)
+
+	runDoubleCycle(opt, sampler, ncover, pcover, seed, first, ncols, drain, &stats)
+
+	stats.PairsCompared = sampler.PairsCompared
+	stats.AgreeSets = len(sampler.seen)
+	stats.NcoverSize = ncover.Size()
+	out := pcover.FDs()
+	stats.PcoverSize = out.Len()
+	return out, stats
+}
+
+// runDoubleCycle is the shared engine of Figure 1: it admits evidence into
+// the negative cover and loops sampling (first cycle, GR_Ncover) and
+// inversion (second cycle, GR_Pcover) until both growth criteria settle.
+// seed and first are evidence batches admitted before the first inversion;
+// drain runs the sampler to queue exhaustion and reports new agree sets.
+// Both one-shot discovery and incremental appends drive this function.
+func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover *cover.PCover,
+	seed, first []fdset.FD, ncols int, drain func() []fdset.AttrSet, stats *Stats) {
+	// pending holds non-FDs admitted to the Ncover but not yet inverted.
+	// Entries superseded by a later specialization before their inversion
+	// are dropped: inverting them would only spawn candidates that the
+	// specialization immediately destroys.
+	pending := make(map[fdset.FD]struct{})
+	addBatch := func(batch []fdset.FD) (added int) {
+		t := time.Now()
+		for _, f := range batch {
+			ok, superseded := ncover.AddTracked(f)
+			if !ok {
+				continue
+			}
+			for _, lhs := range superseded {
+				delete(pending, fdset.FD{LHS: lhs, RHS: f.RHS})
+			}
+			pending[f] = struct{}{}
+			added++
+		}
+		stats.NcoverBuild += time.Since(t)
+		return added
+	}
+	lastBefore := ncover.Size()
+	addBatch(seed)
+	lastAdded := addBatch(first)
+
+	for cycle := 0; ; cycle++ {
+		// First cycle: keep draining the sampler while the negative cover
+		// still grows faster than Th_Ncover per drain.
+		for growthRate(lastAdded, lastBefore) > opt.ThNcover {
+			if !sampler.Reseed() {
+				break
+			}
+			lastBefore = ncover.Size()
+			lastAdded = addBatch(nonFDsOf(drain(), ncols))
+		}
+
+		// Inversion: fold the pending non-FDs into the positive cover,
+		// most general first to minimize candidate churn.
+		beforeP := pcover.Size()
+		t := time.Now()
+		batch := make([]fdset.FD, 0, len(pending))
+		for f := range pending {
+			batch = append(batch, f)
+		}
+		fdset.SortFDs(batch)
+		addedP := pcover.InvertAllParallel(batch, opt.Workers)
+		stats.Inversion += time.Since(t)
+		stats.Inversions++
+		clear(pending)
+
+		grP := growthRate(addedP, beforeP)
+		if grP <= opt.ThPcover && (!opt.ExhaustWindows || sampler.Exhausted()) {
+			break
+		}
+		if opt.MaxCycles > 0 && cycle+1 >= opt.MaxCycles {
+			break
+		}
+		// Second cycle demands more evidence: wake the sampler (clusters
+		// parked after capa-0 passes get a fresh chance — "re-sample for
+		// optimal trade-off", Section II-B) and run another drain before
+		// re-entering the first cycle.
+		if !sampler.Reseed() {
+			break
+		}
+		lastBefore = ncover.Size()
+		lastAdded = addBatch(nonFDsOf(drain(), ncols))
+	}
+}
+
+// nonFDsOf expands agree sets into the non-FDs they witness: agree ↛ a for
+// every attribute a outside the agree set.
+func nonFDsOf(agrees []fdset.AttrSet, ncols int) []fdset.FD {
+	var out []fdset.FD
+	for _, agree := range agrees {
+		for a := 0; a < ncols; a++ {
+			if !agree.Has(a) {
+				out = append(out, fdset.FD{LHS: agree, RHS: a})
+			}
+		}
+	}
+	return out
+}
+
+// growthRate is the paper's GR: additions relative to the prior size. A
+// growth onto an empty cover counts as full growth.
+func growthRate(added, before int) float64 {
+	if added == 0 {
+		return 0
+	}
+	if before == 0 {
+		return 1
+	}
+	return float64(added) / float64(before)
+}
+
+// String renders run statistics compactly for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("rows=%d cols=%d pairs=%d agreeSets=%d ncover=%d pcover=%d batches=%d inversions=%d total=%v",
+		s.Rows, s.Cols, s.PairsCompared, s.AgreeSets, s.NcoverSize, s.PcoverSize, s.SampleBatches, s.Inversions, s.Total)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"eulerfd/internal/cover"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// Incremental maintains an EulerFD result across appended row batches —
+// the DMS deployment pattern, where relations grow by periodic imports.
+//
+// Appending rows only ever *adds* violations: a non-FD witnessed before
+// stays witnessed, so the negative cover carries over verbatim and new
+// evidence folds in through the same incremental inversion the double
+// cycle already uses. Each Append runs the sampling cycles over the grown
+// relation (fresh windows, so earlier pairs may be revisited — wasteful
+// but sound) and inverts only the newly admitted non-FDs.
+type Incremental struct {
+	opt     Options
+	name    string
+	encoder *preprocess.Encoder
+	ncover  *cover.NCover
+	pcover  *cover.PCover
+	seeded  map[int]bool // RHS attrs whose ∅ non-FD is already recorded
+	ncols   int
+
+	// Appends counts the batches folded in so far.
+	Appends int
+}
+
+// NewIncremental prepares incremental discovery over a schema.
+func NewIncremental(name string, attrs []string, opt Options) (*Incremental, error) {
+	if len(attrs) > fdset.MaxAttrs {
+		return nil, fmt.Errorf("core: %d attributes exceed the %d-attribute limit", len(attrs), fdset.MaxAttrs)
+	}
+	opt = opt.withDefaults(0)
+	ncols := len(attrs)
+	return &Incremental{
+		opt:     opt,
+		name:    name,
+		encoder: preprocess.NewEncoder(attrs),
+		// Split ranks need global attribute frequencies, which shift as
+		// data grows; incremental covers use natural order.
+		ncover: cover.NewNCover(ncols, nil),
+		pcover: cover.NewPCover(ncols, nil),
+		seeded: make(map[int]bool, ncols),
+		ncols:  ncols,
+	}, nil
+}
+
+// NumRows returns the rows absorbed so far.
+func (inc *Incremental) NumRows() int { return inc.encoder.NumRows() }
+
+// Append folds a batch of rows into the result and returns run statistics
+// for the batch.
+func (inc *Incremental) Append(rows [][]string) (Stats, error) {
+	start := time.Now()
+	if err := inc.encoder.Append(rows); err != nil {
+		return Stats{}, err
+	}
+	inc.Appends++
+	enc := inc.encoder.Snapshot(inc.name)
+	stats := Stats{Rows: enc.NumRows, Cols: inc.ncols}
+	if inc.ncols == 0 {
+		stats.Total = time.Since(start)
+		return stats, nil
+	}
+
+	sampler := NewSampler(enc, inc.opt.NumQueues, inc.opt.RecentPasses)
+	sampler.exhaustive = inc.opt.ExhaustWindows
+	sampler.dynamicRanges = inc.opt.DynamicCapaRanges
+
+	// ∅ seeding: a column can become non-constant in any batch.
+	var seed []fdset.FD
+	for a := 0; a < inc.ncols; a++ {
+		if !inc.seeded[a] && enc.NumLabels[a] > 1 {
+			inc.seeded[a] = true
+			seed = append(seed, fdset.FD{LHS: fdset.EmptySet(), RHS: a})
+		}
+	}
+
+	drain := func() []fdset.AttrSet {
+		t0 := time.Now()
+		defer func() { stats.Sampling += time.Since(t0) }()
+		var all []fdset.AttrSet
+		for {
+			got := sampler.Batch(inc.opt.BatchPairs)
+			all = append(all, got...)
+			stats.SampleBatches++
+			if sampler.queue.Len() == 0 {
+				return all
+			}
+		}
+	}
+
+	first := nonFDsOf(drain(), inc.ncols)
+	runDoubleCycle(inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, &stats)
+
+	stats.PairsCompared = sampler.PairsCompared
+	stats.AgreeSets = len(sampler.seen)
+	stats.NcoverSize = inc.ncover.Size()
+	stats.PcoverSize = inc.pcover.Size()
+	stats.Total = time.Since(start)
+	return stats, nil
+}
+
+// FDs returns the current approximate set of minimal non-trivial FDs.
+func (inc *Incremental) FDs() *fdset.Set {
+	return inc.pcover.FDs()
+}

@@ -1,0 +1,338 @@
+// Package core implements the EulerFD algorithm (Section IV of the
+// paper): adaptive cluster sampling with a multilevel feedback queue and
+// sliding windows, negative-cover construction, and inversion, organized
+// in a double-cycle structure with two growth-rate stopping criteria.
+package core
+
+import (
+	"math"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// clusterState tracks one stripped-partition cluster through multiple
+// samples: its current sliding-window size, the position of the window in
+// the pass now underway, and the capa history of recent passes.
+type clusterState struct {
+	rows   []int32
+	window int // current window size; pairs are (rows[i], rows[i+window-1])
+	pos    int // next window start within the current pass
+
+	// Pass accounting: capa of a pass = newNonFDs/pairs over the whole
+	// pass even when a pass is split across batches by the pair quota.
+	passPairs int
+	passNew   int
+
+	recent []float64 // ring of the last few pass capas
+	rhead  int
+	rlen   int
+}
+
+func newClusterState(c preprocess.Cluster, recentLen int) *clusterState {
+	return &clusterState{rows: c.Rows, window: 2, recent: make([]float64, recentLen)}
+}
+
+// exhausted reports whether every window size has been used up: no more
+// non-repeating pairs remain in this cluster.
+func (c *clusterState) exhausted() bool { return c.window > len(c.rows) }
+
+// pushCapa records a completed pass capa into the recent ring.
+func (c *clusterState) pushCapa(v float64) {
+	c.recent[c.rhead] = v
+	c.rhead = (c.rhead + 1) % len(c.recent)
+	if c.rlen < len(c.recent) {
+		c.rlen++
+	}
+}
+
+// avgRecentCapa is the mean capa over recent passes (0 when none yet).
+func (c *clusterState) avgRecentCapa() float64 {
+	if c.rlen == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < c.rlen; i++ {
+		sum += c.recent[i]
+	}
+	return sum / float64(c.rlen)
+}
+
+// shouldRequeue decides whether the cluster stays in the MLFQ: it parks
+// only once a full window of recent passes all produced zero capa ("until
+// its average capa of recent samples equals to 0", Section IV-C). Until
+// the ring has filled, the cluster always gets another pass.
+func (c *clusterState) shouldRequeue() bool {
+	if c.rlen < len(c.recent) {
+		return true
+	}
+	return c.avgRecentCapa() > 0
+}
+
+// lastCapa is the capa of the most recent completed pass.
+func (c *clusterState) lastCapa() float64 {
+	if c.rlen == 0 {
+		return 0
+	}
+	return c.recent[(c.rhead-1+len(c.recent))%len(c.recent)]
+}
+
+// MLFQ is the multilevel feedback queue over clusters. Queue 0 has the
+// highest priority; thresholds follow Table IV of the paper: the highest
+// queue holds capa ∈ [10, ∞) and each following queue divides the bound by
+// ten, with the last queue absorbing [0, bound).
+type MLFQ struct {
+	queues     [][]*clusterState
+	thresholds []float64 // len = numQueues-1, descending
+	count      int
+}
+
+// NewMLFQ builds an empty MLFQ with the given number of queues (≥ 1).
+func NewMLFQ(numQueues int) *MLFQ {
+	if numQueues < 1 {
+		numQueues = 1
+	}
+	th := make([]float64, numQueues-1)
+	for k := range th {
+		th[k] = math.Pow(10, float64(1-k)) // 10, 1, 0.1, ... (Table IV)
+	}
+	return &MLFQ{queues: make([][]*clusterState, numQueues), thresholds: th}
+}
+
+// Retune replaces the queue thresholds with a geometric ladder anchored at
+// top: queue k admits capa ≥ top/10^k. This implements the paper's
+// future-work proposal of revising capa ranges at runtime; the sampler
+// calls it between drains when dynamic ranges are enabled. Enqueued
+// clusters keep their positions — only future Push decisions change.
+func (q *MLFQ) Retune(top float64) {
+	if top <= 0 || len(q.thresholds) == 0 {
+		return
+	}
+	for k := range q.thresholds {
+		q.thresholds[k] = top / math.Pow(10, float64(k))
+	}
+}
+
+// queueFor maps a capa value to its queue index.
+func (q *MLFQ) queueFor(capa float64) int {
+	for k, t := range q.thresholds {
+		if capa >= t {
+			return k
+		}
+	}
+	return len(q.queues) - 1
+}
+
+// Push enqueues the cluster at the tail of the queue matching capa.
+func (q *MLFQ) Push(c *clusterState, capa float64) {
+	k := q.queueFor(capa)
+	q.queues[k] = append(q.queues[k], c)
+	q.count++
+}
+
+// PushFront re-enqueues a cluster at the head of the queue matching capa,
+// used to resume a pass interrupted by the batch pair quota.
+func (q *MLFQ) PushFront(c *clusterState, capa float64) {
+	k := q.queueFor(capa)
+	q.queues[k] = append([]*clusterState{c}, q.queues[k]...)
+	q.count++
+}
+
+// Pop dequeues the head of the highest-priority non-empty queue.
+func (q *MLFQ) Pop() (*clusterState, bool) {
+	for k := range q.queues {
+		if len(q.queues[k]) > 0 {
+			c := q.queues[k][0]
+			q.queues[k] = q.queues[k][1:]
+			q.count--
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Len returns the number of enqueued clusters.
+func (q *MLFQ) Len() int { return q.count }
+
+// Sampler is EulerFD's sampling module (Algorithm 1). It owns the MLFQ,
+// the per-cluster sliding windows, and the agree-set deduplication table
+// that makes capa count only genuinely new evidence.
+type Sampler struct {
+	enc      *preprocess.Encoded
+	queue    *MLFQ
+	clusters []*clusterState
+	// seen deduplicates sampled evidence at the agree-set level: the
+	// disagree set of a pair is always the complement of its agree set,
+	// so one agree set fully determines the pair's non-FDs.
+	seen map[fdset.AttrSet]struct{}
+
+	numQueues int
+	recentLen int
+	seeded    bool
+	// exhaustive disables capa-based parking: clusters are requeued until
+	// every window size is used, guaranteeing full pair coverage (and,
+	// with the ∅-seed, an exact result). Used by tests and ablations.
+	exhaustive bool
+	// dynamicRanges enables runtime retuning of the MLFQ capa thresholds
+	// (the paper's future-work extension): on every Reseed the ladder is
+	// re-anchored at the highest capa observed in the last generation of
+	// passes, so prioritization keeps discriminating even after absolute
+	// capa values have decayed below the static Table IV ranges.
+	dynamicRanges bool
+	maxRecentCapa float64
+
+	// Stats
+	PairsCompared int
+	Passes        int
+}
+
+// NewSampler prepares sampling state over an encoded relation. numQueues
+// is the MLFQ depth (paper default 6); recentLen is how many recent pass
+// capas the requeue decision averages over.
+func NewSampler(enc *preprocess.Encoded, numQueues, recentLen int) *Sampler {
+	if recentLen < 1 {
+		recentLen = 3
+	}
+	s := &Sampler{
+		enc:       enc,
+		queue:     NewMLFQ(numQueues),
+		seen:      make(map[fdset.AttrSet]struct{}),
+		numQueues: numQueues,
+		recentLen: recentLen,
+	}
+	for _, c := range enc.AllClusters() {
+		s.clusters = append(s.clusters, newClusterState(c, recentLen))
+	}
+	return s
+}
+
+// Exhausted reports whether no further pairs can ever be produced: the
+// MLFQ is empty and every cluster has used all window sizes.
+func (s *Sampler) Exhausted() bool {
+	if s.queue.Len() > 0 || !s.seeded {
+		return false
+	}
+	for _, c := range s.clusters {
+		if !c.exhausted() {
+			return false
+		}
+	}
+	return true
+}
+
+// Reseed re-enqueues every non-exhausted cluster for another round of
+// passes, clearing capa history so each gets a full window of fresh
+// chances. (Keeping the history — one probe pass per parked cluster —
+// was measured to cost real recall: rare non-FDs surface on the extra
+// windows, which is exactly why the double cycle re-samples.) The double
+// cycle calls this when GR_Pcover demands more samples but the MLFQ has
+// drained. It reports whether any cluster was re-enqueued.
+func (s *Sampler) Reseed() bool {
+	if s.dynamicRanges && s.maxRecentCapa > 0 {
+		s.queue.Retune(s.maxRecentCapa)
+		s.maxRecentCapa = 0
+	}
+	re := false
+	for _, c := range s.clusters {
+		if c.exhausted() {
+			continue
+		}
+		c.rlen, c.rhead = 0, 0
+		s.queue.Push(c, c.lastCapa())
+		re = true
+	}
+	return re
+}
+
+// Batch runs the sampling loop until roughly quotaPairs tuple pairs have
+// been compared (or the MLFQ drains) and returns the distinct new agree
+// sets discovered. The first call performs the initial pass over every
+// cluster with window size 2 and seeds the MLFQ by capa.
+func (s *Sampler) Batch(quotaPairs int) []fdset.AttrSet {
+	if quotaPairs < 1 {
+		quotaPairs = 1
+	}
+	var found []fdset.AttrSet
+	budget := quotaPairs
+
+	if !s.seeded {
+		s.seeded = true
+		for _, c := range s.clusters {
+			n := s.samplePass(c, -1, &found) // initial pass is not quota-bound
+			budget -= n
+			if !c.exhausted() && (s.exhaustive || c.shouldRequeue()) {
+				s.queue.Push(c, c.lastCapa())
+			}
+		}
+		if budget <= 0 {
+			return found
+		}
+	}
+
+	for budget > 0 {
+		c, ok := s.queue.Pop()
+		if !ok {
+			break
+		}
+		n := s.samplePass(c, budget, &found)
+		budget -= n
+		if c.pos > 0 {
+			// Pass interrupted by quota: resume at the head of its queue
+			// next batch, keyed by the capa of its last completed pass.
+			s.queue.PushFront(c, c.lastCapa())
+			continue
+		}
+		if c.exhausted() {
+			continue
+		}
+		if s.exhaustive || c.shouldRequeue() {
+			s.queue.Push(c, c.lastCapa())
+		}
+	}
+	return found
+}
+
+// samplePass advances the cluster's sliding window by up to maxPairs pair
+// comparisons (unbounded when maxPairs < 0). When the window completes its
+// sweep the pass ends: capa is recorded and the window widens by one; an
+// interrupted pass leaves c.pos > 0 so the caller resumes it later. It
+// returns the number of pairs compared.
+func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrSet) int {
+	if c.exhausted() {
+		return 0
+	}
+	pairs := 0
+	last := len(c.rows) - c.window // final window start of this pass
+	for c.pos <= last {
+		if maxPairs >= 0 && pairs >= maxPairs {
+			s.PairsCompared += pairs
+			return pairs
+		}
+		i, j := c.rows[c.pos], c.rows[c.pos+c.window-1]
+		agree := s.enc.AgreeSet(int(i), int(j))
+		pairs++
+		c.passPairs++
+		if _, dup := s.seen[agree]; !dup {
+			s.seen[agree] = struct{}{}
+			*found = append(*found, agree)
+			// A pair disagreeing on k attributes witnesses k non-FDs.
+			c.passNew += len(s.enc.Attrs) - agree.Count()
+		}
+		c.pos++
+	}
+	// Pass complete: record capa, widen the window.
+	capa := 0.0
+	if c.passPairs > 0 {
+		capa = float64(c.passNew) / float64(c.passPairs)
+	}
+	c.pushCapa(capa)
+	if capa > s.maxRecentCapa {
+		s.maxRecentCapa = capa
+	}
+	s.Passes++
+	c.passPairs, c.passNew = 0, 0
+	c.pos = 0
+	c.window++
+	s.PairsCompared += pairs
+	return pairs
+}

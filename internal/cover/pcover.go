@@ -1,0 +1,203 @@
+package cover
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"eulerfd/internal/fdset"
+)
+
+// PCover is the positive cover: for every RHS attribute, the tree of
+// minimal FD-candidate LHSs that are consistent with every non-FD inverted
+// so far. It starts from the most general candidates ∅ → A and is refined
+// by Invert (Algorithm 3).
+type PCover struct {
+	trees []*Tree
+	ncols int
+}
+
+// NewPCover builds a positive cover over ncols attributes initialized with
+// the most general candidate ∅ → A for every attribute A (Lines 1–2).
+// rank orders split attributes as in NewTree (nil = natural order).
+func NewPCover(ncols int, rank []int) *PCover {
+	p := &PCover{trees: make([]*Tree, ncols), ncols: ncols}
+	for i := range p.trees {
+		p.trees[i] = NewTree(rank)
+		p.trees[i].Add(fdset.EmptySet())
+	}
+	return p
+}
+
+// NumCols returns the number of attributes the cover spans.
+func (p *PCover) NumCols() int { return p.ncols }
+
+// Size returns the number of candidate FDs currently stored.
+func (p *PCover) Size() int {
+	n := 0
+	for _, t := range p.trees {
+		n += t.Size()
+	}
+	return n
+}
+
+// Invert removes every candidate invalidated by the non-FD (candidates
+// whose LHS is a subset of the non-FD's LHS, by Lemma 1) and replaces each
+// with its minimal specializations that escape the non-FD. It returns the
+// number of candidates added, which feeds the GR_Pcover stopping criterion.
+//
+// This is Function invert of Algorithm 3 with the classical Fdep
+// refinement: removed generalizations spawn only candidates
+// general.lhs ∪ {attr} for attributes *outside* nonFD.lhs ∪ {rhs}.
+// Algorithm 3 as printed also spawns attributes inside nonFD.lhs, whose
+// offspring remain generalizations of the non-FD and are immediately
+// re-found, removed, and re-expanded by the loop — converging to exactly
+// the same cover (their eventual escapes are supersets of the direct
+// escapes and fail the minimality check). Skipping them changes nothing
+// in the output and removes the quadratic churn on FD-dense relations;
+// BenchmarkAblationPaperInversion quantifies the gap.
+func (p *PCover) Invert(nonFD fdset.FD) int {
+	t := p.trees[nonFD.RHS]
+	// All invalidated generalizations come out in one traversal. Because
+	// every replacement candidate contains an attribute outside the
+	// non-FD's LHS, none of them is itself a generalization of the
+	// non-FD, so a single removal pass suffices.
+	generals := t.RemoveSubsets(nonFD.LHS)
+	added := 0
+	// Any blocking subset of a candidate general ∪ {attr} must contain
+	// attr: the tree is an antichain, so proper subsets of general are
+	// not stored, and general itself was just removed. A blocker is
+	// therefore S ∪ {attr} for some S ⊆ general. For small generals it is
+	// far cheaper to enumerate those 2^|general| sets against the tree's
+	// membership table than to search the tree.
+	const enumLimit = 6
+	var subsets []fdset.AttrSet
+	for _, general := range generals {
+		attrs := general.Attrs()
+		subsets = subsets[:0]
+		if len(attrs) <= enumLimit {
+			for mask := 0; mask < 1<<len(attrs); mask++ {
+				var sub fdset.AttrSet
+				for b := 0; b < len(attrs); b++ {
+					if mask&(1<<b) != 0 {
+						sub.Add(attrs[b])
+					}
+				}
+				subsets = append(subsets, sub)
+			}
+		}
+		for attr := 0; attr < p.ncols; attr++ {
+			if attr == nonFD.RHS || nonFD.LHS.Has(attr) {
+				continue
+			}
+			candidate := general.With(attr)
+			blocked := false
+			if len(subsets) > 0 {
+				for _, sub := range subsets {
+					if t.Contains(sub.With(attr)) {
+						blocked = true
+						break
+					}
+				}
+			} else {
+				blocked = t.ContainsSubsetWithAttr(candidate, attr)
+			}
+			if blocked {
+				continue
+			}
+			t.Add(candidate)
+			added++
+		}
+	}
+	return added
+}
+
+// InvertLiteral is Function invert of Algorithm 3 exactly as printed in
+// the paper: removed generalizations spawn candidates for every attribute
+// outside general.lhs ∪ {rhs}, including attributes still inside the
+// non-FD's LHS (those offspring are re-found and removed by the loop).
+// Kept for the inversion ablation; produces the same cover as Invert.
+func (p *PCover) InvertLiteral(nonFD fdset.FD) int {
+	t := p.trees[nonFD.RHS]
+	added := 0
+	for {
+		general, ok := t.FindSubset(nonFD.LHS)
+		if !ok {
+			break
+		}
+		t.Remove(general)
+		for attr := 0; attr < p.ncols; attr++ {
+			if attr == nonFD.RHS || general.Has(attr) {
+				continue
+			}
+			candidate := general.With(attr)
+			if t.ContainsSubset(candidate) {
+				continue
+			}
+			t.Add(candidate)
+			added++
+		}
+	}
+	return added
+}
+
+// InvertAll applies Invert over a batch of non-FDs and returns the total
+// number of candidates added.
+func (p *PCover) InvertAll(nonFDs []fdset.FD) int {
+	added := 0
+	for _, f := range nonFDs {
+		added += p.Invert(f)
+	}
+	return added
+}
+
+// InvertAllParallel is InvertAll sharded across goroutines by RHS: every
+// per-RHS tree is touched by exactly one worker, so no locking is needed,
+// and the final cover is identical to the sequential result (the cover is
+// determined by the set of inverted non-FDs, not their order). workers ≤ 1
+// falls back to the sequential path.
+func (p *PCover) InvertAllParallel(nonFDs []fdset.FD, workers int) int {
+	if workers <= 1 {
+		return p.InvertAll(nonFDs)
+	}
+	byRHS := make([][]fdset.FD, p.ncols)
+	for _, f := range nonFDs {
+		byRHS[f.RHS] = append(byRHS[f.RHS], f)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var added atomic.Int64
+	for _, batch := range byRHS {
+		if len(batch) == 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(batch []fdset.FD) {
+			defer wg.Done()
+			n := 0
+			for _, f := range batch {
+				n += p.Invert(f)
+			}
+			added.Add(int64(n))
+			<-sem
+		}(batch)
+	}
+	wg.Wait()
+	return int(added.Load())
+}
+
+// FDs returns the candidate set as minimal, non-trivial FDs. Candidates
+// whose LHS covers every other attribute are kept: a key is a valid LHS.
+func (p *PCover) FDs() *fdset.Set {
+	s := fdset.NewSet()
+	for rhs, t := range p.trees {
+		t.ForEach(func(lhs fdset.AttrSet) bool {
+			s.Add(fdset.FD{LHS: lhs, RHS: rhs})
+			return true
+		})
+	}
+	return s
+}
+
+// Tree exposes the per-RHS candidate tree.
+func (p *PCover) Tree(rhs int) *Tree { return p.trees[rhs] }

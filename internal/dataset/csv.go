@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CSVOptions controls CSV ingestion.
+type CSVOptions struct {
+	// Comma is the field separator; 0 means ','.
+	Comma rune
+	// HasHeader indicates the first record carries attribute names. When
+	// false, attributes are named col0, col1, ....
+	HasHeader bool
+	// TrimSpace strips surrounding whitespace from every cell.
+	TrimSpace bool
+	// NullLiterals are cell values normalized to the empty string (e.g.
+	// "NULL", "?", "\\N") before comparison.
+	NullLiterals []string
+}
+
+// DefaultCSVOptions matches the Metanome benchmark convention: comma
+// separated, header row, "NULL"/"?" treated as nulls.
+func DefaultCSVOptions() CSVOptions {
+	return CSVOptions{Comma: ',', HasHeader: true, NullLiterals: []string{"NULL", "?"}}
+}
+
+// ReadCSV parses a relation from r. The relation name is supplied by the
+// caller (typically the file basename).
+func ReadCSV(name string, r io.Reader, opt CSVOptions) (*Relation, error) {
+	cr := csv.NewReader(r)
+	if opt.Comma != 0 {
+		cr.Comma = opt.Comma
+	}
+	cr.FieldsPerRecord = -1 // validate shape ourselves for a better error
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: parsing CSV %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: CSV %s is empty", name)
+	}
+	nulls := make(map[string]bool, len(opt.NullLiterals))
+	for _, s := range opt.NullLiterals {
+		nulls[s] = true
+	}
+	var attrs []string
+	rows := records
+	if opt.HasHeader {
+		attrs = records[0]
+		rows = records[1:]
+	} else {
+		attrs = make([]string, len(records[0]))
+		for i := range attrs {
+			attrs[i] = fmt.Sprintf("col%d", i)
+		}
+	}
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("dataset: CSV %s row %d has %d fields, want %d", name, i+1, len(row), len(attrs))
+		}
+		for j, cell := range row {
+			if opt.TrimSpace {
+				cell = strings.TrimSpace(cell)
+			}
+			if nulls[cell] {
+				cell = ""
+			}
+			row[j] = cell
+		}
+	}
+	return New(name, attrs, rows)
+}
+
+// ReadCSVFile loads a relation from path, naming it after the file.
+func ReadCSVFile(path string, opt CSVOptions) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ReadCSV(name, f, opt)
+}
+
+// WriteCSV emits the relation as CSV with a header row.
+func WriteCSV(w io.Writer, r *Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Attrs); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSVFile writes the relation to path, creating parent directories.
+func WriteCSVFile(path string, r *Relation) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

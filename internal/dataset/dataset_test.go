@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/fdset"
+)
+
+// PatientRows is the running example of the paper (Table I).
+func patient() *Relation {
+	return MustNew("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+}
+
+func TestNewValidatesShape(t *testing.T) {
+	_, err := New("bad", []string{"A", "B"}, [][]string{{"1"}})
+	if err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := New("ok", nil, nil); err != nil {
+		t.Fatalf("empty relation rejected: %v", err)
+	}
+	wide := make([]string, fdset.MaxAttrs+1)
+	if _, err := New("wide", wide, nil); err != ErrTooManyColumns {
+		t.Fatalf("over-wide relation: err = %v", err)
+	}
+}
+
+func TestAttrLookup(t *testing.T) {
+	r := patient()
+	if r.AttrIndex("Gender") != 3 || r.AttrIndex("missing") != -1 {
+		t.Error("AttrIndex wrong")
+	}
+	s, err := r.AttrSetOf("Name", "Medicine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != fdset.NewAttrSet(0, 4) {
+		t.Errorf("AttrSetOf = %v", s)
+	}
+	if _, err := r.AttrSetOf("Nope"); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+}
+
+func TestProjectPrefixHead(t *testing.T) {
+	r := patient()
+	p, err := r.Project([]int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p.Attrs, []string{"Medicine", "Name"}) {
+		t.Errorf("projected attrs = %v", p.Attrs)
+	}
+	if p.Rows[0][0] != "drugA" || p.Rows[0][1] != "Kelly" {
+		t.Errorf("projected row = %v", p.Rows[0])
+	}
+	// Projection must not alias original rows.
+	p.Rows[0][0] = "mutated"
+	if r.Rows[0][4] == "mutated" {
+		t.Error("Project aliased source rows")
+	}
+	if _, err := r.Project([]int{99}); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+
+	pre, err := r.Prefix(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumCols() != 2 || pre.Attrs[1] != "Age" {
+		t.Errorf("Prefix wrong: %v", pre.Attrs)
+	}
+	if _, err := r.Prefix(-1); err == nil {
+		t.Error("negative prefix accepted")
+	}
+
+	h, err := r.Head(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumRows() != 3 || h.Rows[2][0] != "Nancy" {
+		t.Errorf("Head wrong")
+	}
+	if _, err := r.Head(1000); err == nil {
+		t.Error("oversized head accepted")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	src := "A,B,C\n1, x ,NULL\n2,y,?\n"
+	opt := DefaultCSVOptions()
+	opt.TrimSpace = true
+	r, err := ReadCSV("t", strings.NewReader(src), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumRows() != 2 || r.NumCols() != 3 {
+		t.Fatalf("shape = %dx%d", r.NumRows(), r.NumCols())
+	}
+	if r.Rows[0][1] != "x" {
+		t.Errorf("TrimSpace failed: %q", r.Rows[0][1])
+	}
+	if r.Rows[0][2] != "" || r.Rows[1][2] != "" {
+		t.Errorf("null literals not normalized: %q %q", r.Rows[0][2], r.Rows[1][2])
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	r, err := ReadCSV("t", strings.NewReader("a,b\nc,d\n"), CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Attrs, []string{"col0", "col1"}) || r.NumRows() != 2 {
+		t.Errorf("no-header parse wrong: %v, %d rows", r.Attrs, r.NumRows())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV("t", strings.NewReader(""), DefaultCSVOptions()); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV("t", strings.NewReader("A,B\n1\n"), DefaultCSVOptions()); err == nil {
+		t.Error("ragged CSV accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	r := patient()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("patient", &buf, CSVOptions{Comma: ',', HasHeader: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Attrs, r.Attrs) || !reflect.DeepEqual(got.Rows, r.Rows) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "patient.csv")
+	if err := WriteCSVFile(path, patient()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadCSVFile(path, DefaultCSVOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "patient" || r.NumRows() != 9 {
+		t.Errorf("file round trip: name=%q rows=%d", r.Name, r.NumRows())
+	}
+	if _, err := ReadCSVFile(filepath.Join(dir, "missing.csv"), DefaultCSVOptions()); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var r *Relation
+	if r.Validate() == nil {
+		t.Error("nil relation validated")
+	}
+	bad := &Relation{Attrs: []string{"A"}, Rows: [][]string{{"1", "2"}}}
+	if bad.Validate() == nil {
+		t.Error("ragged relation validated")
+	}
+	if patient().Validate() != nil {
+		t.Error("good relation rejected")
+	}
+}

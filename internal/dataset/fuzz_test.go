@@ -1,0 +1,27 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks that arbitrary input never panics the parser and
+// that anything it accepts satisfies the relation invariants.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("A,B\n1,2\n")
+	f.Add("A,B\n1\n")
+	f.Add("")
+	f.Add("a;b\n;;\n")
+	f.Add("\"quoted,comma\",B\nx,y\n")
+	f.Add("A,B\nNULL,?\n")
+	f.Add("col with space,\xff\n1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		rel, err := ReadCSV("fuzz", strings.NewReader(input), DefaultCSVOptions())
+		if err != nil {
+			return
+		}
+		if err := rel.Validate(); err != nil {
+			t.Fatalf("accepted relation fails validation: %v\ninput: %q", err, input)
+		}
+	})
+}

@@ -1,0 +1,138 @@
+// Package dataset provides the relational substrate for FD discovery: an
+// in-memory relation with named attributes and string-valued cells, plus
+// CSV ingestion and emission.
+//
+// Discovery algorithms never touch these raw values directly; the
+// preprocessing module (internal/preprocess) converts a Relation into
+// numeric label partitions first.
+package dataset
+
+import (
+	"errors"
+	"fmt"
+
+	"eulerfd/internal/fdset"
+)
+
+// ErrTooManyColumns is returned when a relation exceeds fdset.MaxAttrs
+// attributes, which the bitset representation cannot address.
+var ErrTooManyColumns = fmt.Errorf("dataset: more than %d columns", fdset.MaxAttrs)
+
+// Relation is an immutable-by-convention relational instance: a schema of
+// attribute names and a row-major matrix of string cells. A nil value in the
+// source data should be represented by an empty string; two empty strings
+// compare equal (NULL = NULL semantics, matching the Metanome benchmark
+// convention the paper's evaluation follows).
+type Relation struct {
+	Name  string
+	Attrs []string
+	Rows  [][]string
+}
+
+// New builds a relation and validates its shape: every row must have
+// exactly len(attrs) cells and the column count must fit in an AttrSet.
+func New(name string, attrs []string, rows [][]string) (*Relation, error) {
+	if len(attrs) > fdset.MaxAttrs {
+		return nil, ErrTooManyColumns
+	}
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("dataset: row %d has %d cells, schema has %d attributes", i, len(row), len(attrs))
+		}
+	}
+	return &Relation{Name: name, Attrs: attrs, Rows: rows}, nil
+}
+
+// MustNew is New for static test fixtures; it panics on malformed input.
+func MustNew(name string, attrs []string, rows [][]string) *Relation {
+	r, err := New(name, attrs, rows)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int { return len(r.Rows) }
+
+// NumCols returns the number of attributes.
+func (r *Relation) NumCols() int { return len(r.Attrs) }
+
+// AttrIndex returns the index of the named attribute, or -1 if absent.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AttrSetOf resolves attribute names to an AttrSet. It returns an error
+// naming the first unknown attribute.
+func (r *Relation) AttrSetOf(names ...string) (fdset.AttrSet, error) {
+	var s fdset.AttrSet
+	for _, n := range names {
+		i := r.AttrIndex(n)
+		if i < 0 {
+			return fdset.AttrSet{}, fmt.Errorf("dataset: unknown attribute %q", n)
+		}
+		s.Add(i)
+	}
+	return s, nil
+}
+
+// Project returns a new relation restricted to the given attribute indices,
+// in the order provided. Row data is copied.
+func (r *Relation) Project(cols []int) (*Relation, error) {
+	for _, c := range cols {
+		if c < 0 || c >= r.NumCols() {
+			return nil, fmt.Errorf("dataset: project column %d out of range", c)
+		}
+	}
+	attrs := make([]string, len(cols))
+	for i, c := range cols {
+		attrs[i] = r.Attrs[c]
+	}
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		nr := make([]string, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		rows[i] = nr
+	}
+	return &Relation{Name: r.Name, Attrs: attrs, Rows: rows}, nil
+}
+
+// Prefix returns the relation restricted to its first n columns, the shape
+// used by the paper's column-scalability experiments (Figs. 8 and 9).
+func (r *Relation) Prefix(n int) (*Relation, error) {
+	if n < 0 || n > r.NumCols() {
+		return nil, fmt.Errorf("dataset: prefix width %d out of range [0,%d]", n, r.NumCols())
+	}
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return r.Project(cols)
+}
+
+// Head returns the relation restricted to its first n rows (sharing row
+// storage), the shape used by the row-scalability experiments (Figs. 6, 7).
+func (r *Relation) Head(n int) (*Relation, error) {
+	if n < 0 || n > r.NumRows() {
+		return nil, fmt.Errorf("dataset: head height %d out of range [0,%d]", n, r.NumRows())
+	}
+	return &Relation{Name: r.Name, Attrs: r.Attrs, Rows: r.Rows[:n]}, nil
+}
+
+// Validate re-checks the relation's structural invariants; useful after
+// external code has assembled one by hand.
+func (r *Relation) Validate() error {
+	if r == nil {
+		return errors.New("dataset: nil relation")
+	}
+	_, err := New(r.Name, r.Attrs, r.Rows)
+	return err
+}

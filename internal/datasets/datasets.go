@@ -1,0 +1,100 @@
+// Package datasets is the registry of benchmark relations used by the
+// experiment harness: the 19 datasets of Table III, rebuilt as
+// deterministic synthetic stand-ins (see DESIGN.md for the substitution
+// rationale). Row counts are scaled down to laptop scale; column counts
+// match the paper exactly, because column structure is what FD discovery
+// complexity hangs on.
+package datasets
+
+import (
+	"fmt"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/gen"
+)
+
+// Info describes one benchmark dataset: the stand-in's shape, the
+// original's shape from Table III, and a constructor.
+type Info struct {
+	Name                 string
+	Rows, Cols           int
+	PaperRows, PaperCols int
+	PaperFDs             int // -1 when the paper reports "unknown"
+	Build                func() *dataset.Relation
+}
+
+// seedOf gives every dataset a distinct stable seed derived from its name.
+func seedOf(name string) int64 {
+	h := int64(1125899906842597)
+	for _, b := range []byte(name) {
+		h = h*31 + int64(b)
+	}
+	return h
+}
+
+// All returns the registry in Table III order.
+func All() []Info {
+	mk := func(name string, rows, cols, pRows, pCols, pFDs int, build func() *dataset.Relation) Info {
+		return Info{Name: name, Rows: rows, Cols: cols, PaperRows: pRows, PaperCols: pCols, PaperFDs: pFDs, Build: build}
+	}
+	build := func(f func(rows int) *dataset.Relation, rows int) func() *dataset.Relation {
+		return func() *dataset.Relation { return f(rows) }
+	}
+	// wide tunes the block-correlated generator per dataset: sparsity
+	// (noise-column fraction) sets agree-set diversity, keyFrac (unique-id
+	// column fraction) sets the singleton-FD population. Values are
+	// calibrated so exact FD counts land within the originals' order of
+	// magnitude (see EXPERIMENTS.md).
+	wide := func(name string, rows, cols int, sparsity, keyFrac float64) func() *dataset.Relation {
+		return func() *dataset.Relation {
+			return gen.WideSparseTuned(name, rows, cols, sparsity, keyFrac, seedOf(name))
+		}
+	}
+	return []Info{
+		mk("iris", 150, 5, 150, 5, 4, build(buildIris, 150)),
+		mk("balance-scale", 625, 5, 625, 5, 1, build(buildBalanceScale, 625)),
+		mk("chess", 4000, 7, 28056, 7, 1, build(buildChess, 4000)),
+		mk("abalone", 2000, 9, 4177, 9, 137, build(buildAbalone, 2000)),
+		mk("nursery", 4000, 9, 12960, 9, 1, build(buildNursery, 4000)),
+		mk("breast-cancer", 699, 11, 699, 11, 46, build(buildBreastCancer, 699)),
+		mk("bridges", 108, 13, 108, 13, 142, build(buildBridges, 108)),
+		mk("echocardiogram", 132, 13, 132, 13, 527, build(buildEchocardiogram, 132)),
+		mk("adult", 4000, 15, 32561, 15, 78, build(buildAdult, 4000)),
+		mk("lineitem", 20000, 16, 6001215, 16, 3879, func() *dataset.Relation {
+			return gen.Lineitem("lineitem", 20000, seedOf("lineitem"))
+		}),
+		mk("letter", 3000, 17, 20000, 17, 61, build(buildLetter, 3000)),
+		mk("weather", 8000, 18, 262920, 18, 918, func() *dataset.Relation {
+			return gen.Weather("weather", 8000, seedOf("weather"))
+		}),
+		mk("ncvoter", 1000, 19, 1000, 19, 758, wide("ncvoter", 1000, 19, 0.2, 0.2)),
+		mk("hepatitis", 155, 20, 155, 20, 8250, wide("hepatitis", 155, 20, 0.3, 0.1)),
+		mk("horse", 300, 28, 300, 28, 139725, wide("horse", 300, 28, 0.3, 0.05)),
+		mk("fd-reduced-30", 5000, 30, 250000, 30, 89571, func() *dataset.Relation {
+			return gen.FDReduced("fd-reduced-30", 5000, 30, seedOf("fd-reduced-30"))
+		}),
+		mk("plista", 400, 63, 1001, 63, 178152, wide("plista", 400, 63, 0.1, 0.3)),
+		mk("flight", 200, 109, 1000, 109, 982631, wide("flight", 200, 109, 0.03, 0.5)),
+		mk("uniprot", 100, 223, 1000, 223, -1, wide("uniprot", 100, 223, 0.02, 0.85)),
+	}
+}
+
+// ByName finds a registry entry.
+func ByName(name string) (Info, error) {
+	for _, d := range All() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Info{}, fmt.Errorf("datasets: unknown dataset %q", name)
+}
+
+// Names lists registry names in order.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, d := range all {
+		out[i] = d.Name
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package datasets
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRegistryShapes(t *testing.T) {
+	all := All()
+	if len(all) != 19 {
+		t.Fatalf("registry has %d datasets, want 19 (Table III)", len(all))
+	}
+	for _, d := range all {
+		if d.Cols != d.PaperCols {
+			t.Errorf("%s: cols %d must match paper cols %d", d.Name, d.Cols, d.PaperCols)
+		}
+		if d.Rows > d.PaperRows {
+			t.Errorf("%s: stand-in rows %d exceed paper rows %d", d.Name, d.Rows, d.PaperRows)
+		}
+	}
+}
+
+func TestBuildAllDatasets(t *testing.T) {
+	// Generation is cheap even for the tall datasets; discovery is what
+	// the registry tests must avoid. Build everything and check shapes.
+	for _, d := range All() {
+		r := d.Build()
+		if r.NumRows() != d.Rows || r.NumCols() != d.Cols {
+			t.Errorf("%s built %dx%d, registry says %dx%d", d.Name, r.NumRows(), r.NumCols(), d.Rows, d.Cols)
+		}
+		if r.Name != d.Name {
+			t.Errorf("%s: relation named %q", d.Name, r.Name)
+		}
+		if err := r.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	d, err := ByName("iris")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := d.Build(), d.Build()
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Error("dataset build is not deterministic")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	names := Names()
+	if names[0] != "iris" || names[len(names)-1] != "uniprot" {
+		t.Errorf("registry order wrong: %v", names)
+	}
+}

@@ -1,0 +1,175 @@
+package datasets
+
+import (
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/gen"
+)
+
+// The UCI stand-ins below copy the column structure of the originals —
+// domain sizes, key columns, derived columns — from the published schema
+// descriptions, so that the FD populations land close to Table III's
+// counts. Row counts are the scaled heights of the registry.
+
+func col(name string, kind gen.ColKind, domain int) gen.ColSpec {
+	return gen.ColSpec{Name: name, Kind: kind, Domain: domain}
+}
+
+func derived(name string, domain int, deps ...int) gen.ColSpec {
+	return gen.ColSpec{Name: name, Kind: gen.Derived, Domain: domain, DependsOn: deps}
+}
+
+func buildProfile(name string, rows int, specs []gen.ColSpec) *dataset.Relation {
+	return gen.Generate(gen.Profile{Name: name, Rows: rows, Cols: specs, Seed: seedOf(name)})
+}
+
+// iris: four near-continuous measurements and a species label.
+func buildIris(rows int) *dataset.Relation {
+	return buildProfile("iris", rows, []gen.ColSpec{
+		col("sepallength", gen.NumericBucketed, 35),
+		col("sepalwidth", gen.NumericBucketed, 23),
+		col("petallength", gen.NumericBucketed, 43),
+		col("petalwidth", gen.NumericBucketed, 22),
+		derived("class", 3, 2, 3), // species tracks the petal shape
+	})
+}
+
+// balance-scale: four five-valued attributes determining the class.
+func buildBalanceScale(rows int) *dataset.Relation {
+	return buildProfile("balance-scale", rows, []gen.ColSpec{
+		col("leftweight", gen.Categorical, 5),
+		col("leftdistance", gen.Categorical, 5),
+		col("rightweight", gen.Categorical, 5),
+		col("rightdistance", gen.Categorical, 5),
+		derived("class", 3, 0, 1, 2, 3),
+	})
+}
+
+// chess (krkopt): six board coordinates and an outcome they determine.
+func buildChess(rows int) *dataset.Relation {
+	return buildProfile("chess", rows, []gen.ColSpec{
+		col("wkfile", gen.Categorical, 8),
+		col("wkrank", gen.Categorical, 8),
+		col("wrfile", gen.Categorical, 8),
+		col("wrrank", gen.Categorical, 8),
+		col("bkfile", gen.Categorical, 8),
+		col("bkrank", gen.Categorical, 8),
+		derived("outcome", 18, 0, 1, 2, 3, 4, 5),
+	})
+}
+
+// abalone: one sex attribute, seven fine-grained measurements, rings.
+func buildAbalone(rows int) *dataset.Relation {
+	return buildProfile("abalone", rows, []gen.ColSpec{
+		col("sex", gen.Categorical, 3),
+		col("length", gen.NumericBucketed, 130),
+		col("diameter", gen.NumericBucketed, 110),
+		col("height", gen.NumericBucketed, 50),
+		col("whole", gen.NumericBucketed, 240),
+		col("shucked", gen.NumericBucketed, 150),
+		col("viscera", gen.NumericBucketed, 120),
+		col("shell", gen.NumericBucketed, 130),
+		col("rings", gen.NumericBucketed, 29),
+	})
+}
+
+// nursery: eight small categorical attributes determining the class.
+func buildNursery(rows int) *dataset.Relation {
+	return buildProfile("nursery", rows, []gen.ColSpec{
+		col("parents", gen.Categorical, 3),
+		col("hasnurs", gen.Categorical, 5),
+		col("form", gen.Categorical, 4),
+		col("children", gen.Categorical, 4),
+		col("housing", gen.Categorical, 3),
+		col("finance", gen.Categorical, 2),
+		col("social", gen.Categorical, 3),
+		col("health", gen.Categorical, 3),
+		derived("class", 5, 0, 1, 4, 7),
+	})
+}
+
+// breast-cancer (Wisconsin): a sample id key and nine 10-valued features.
+func buildBreastCancer(rows int) *dataset.Relation {
+	specs := []gen.ColSpec{{Name: "id", Kind: gen.Key}}
+	names := []string{"thickness", "sizeuniform", "shapeuniform", "adhesion",
+		"epithelial", "nuclei", "chromatin", "nucleoli", "mitoses"}
+	for _, n := range names {
+		specs = append(specs, col(n, gen.Zipf, 10))
+	}
+	specs = append(specs, derived("class", 2, 1, 6))
+	return buildProfile("breast-cancer", rows, specs)
+}
+
+// bridges: an identifier key plus small categorical design attributes.
+func buildBridges(rows int) *dataset.Relation {
+	return buildProfile("bridges", rows, []gen.ColSpec{
+		{Name: "identifier", Kind: gen.Key},
+		col("river", gen.Categorical, 3),
+		col("location", gen.NumericBucketed, 50),
+		col("erected", gen.NumericBucketed, 80),
+		col("purpose", gen.Zipf, 4),
+		col("length", gen.NumericBucketed, 30),
+		col("lanes", gen.Zipf, 4),
+		col("clearg", gen.Categorical, 2),
+		col("tord", gen.Categorical, 2),
+		derived("material", 3, 3, 10),
+		col("span", gen.Zipf, 3),
+		col("reld", gen.Categorical, 3),
+		derived("type", 7, 9, 10),
+	})
+}
+
+// echocardiogram: fine-grained clinical measurements, several near-key.
+func buildEchocardiogram(rows int) *dataset.Relation {
+	return buildProfile("echocardiogram", rows, []gen.ColSpec{
+		col("survival", gen.NumericBucketed, 40),
+		col("alive", gen.Categorical, 2),
+		col("age", gen.NumericBucketed, 35),
+		col("pericardial", gen.Categorical, 2),
+		col("fractional", gen.NumericBucketed, 90),
+		col("epss", gen.NumericBucketed, 70),
+		col("lvdd", gen.NumericBucketed, 80),
+		col("wallscore", gen.NumericBucketed, 60),
+		col("wallindex", gen.NumericBucketed, 50),
+		col("mult", gen.NumericBucketed, 45),
+		col("name", gen.Categorical, 2),
+		col("group", gen.Categorical, 3),
+		derived("aliveat1", 3, 0, 1),
+	})
+}
+
+// adult: the census-income schema; education-num mirrors education, and
+// fnlwgt is a high-cardinality sampling weight.
+func buildAdult(rows int) *dataset.Relation {
+	return buildProfile("adult", rows, []gen.ColSpec{
+		col("age", gen.NumericBucketed, 74),
+		col("workclass", gen.Zipf, 9),
+		{Name: "fnlwgt", Kind: gen.Key},
+		col("education", gen.Zipf, 16),
+		derived("educationnum", 16, 3),
+		col("marital", gen.Zipf, 7),
+		col("occupation", gen.Zipf, 15),
+		col("relationship", gen.Zipf, 6),
+		col("race", gen.Zipf, 5),
+		col("sex", gen.Categorical, 2),
+		// capital-gain/loss are ~90% zeros in the census data; the shared
+		// null stands in for the zero mode.
+		{Name: "capitalgain", Kind: gen.Zipf, Domain: 120, NullRate: 0.88},
+		{Name: "capitalloss", Kind: gen.Zipf, Domain: 99, NullRate: 0.95},
+		col("hours", gen.NumericBucketed, 96),
+		col("country", gen.Zipf, 42),
+		col("income", gen.Categorical, 2),
+	})
+}
+
+// letter: sixteen 16-valued image statistics and the letter class.
+func buildLetter(rows int) *dataset.Relation {
+	specs := make([]gen.ColSpec, 0, 17)
+	names := []string{"xbox", "ybox", "width", "high", "onpix", "xbar",
+		"ybar", "x2bar", "y2bar", "xybar", "x2ybr", "xy2br", "xege",
+		"xegvy", "yege", "yegvx"}
+	for _, n := range names {
+		specs = append(specs, col(n, gen.NumericBucketed, 16))
+	}
+	specs = append(specs, col("lettr", gen.Categorical, 26))
+	return buildProfile("letter", rows, specs)
+}

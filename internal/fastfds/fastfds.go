@@ -1,0 +1,207 @@
+// Package fastfds implements the FastFDs baseline (Wyss, Giannella &
+// Robertson, DaWaK 2001): exact FD discovery by depth-first search over
+// difference sets.
+//
+// For every RHS attribute A, the difference sets are the complements of
+// the agree sets that lack A: a valid LHS must *cover* them all (hit each
+// with at least one attribute). FastFDs searches for minimal covers
+// depth-first, ordering attributes greedily by how many remaining
+// difference sets they cover — the heuristic that gives the algorithm its
+// name. Section II-A of the EulerFD paper places it with Dep-Miner in the
+// difference- and agree-set family.
+package fastfds
+
+import (
+	"sort"
+	"time"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// Stats reports the work a discovery run performed.
+type Stats struct {
+	Rows, Cols    int
+	PairsCompared int
+	AgreeSets     int
+	DiffSets      int // difference sets across all RHS
+	SearchNodes   int // DFS nodes visited
+	PcoverSize    int
+	Total         time.Duration
+}
+
+// Discover returns the exact set of minimal, non-trivial FDs.
+func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
+	return fds, stats, nil
+}
+
+// DiscoverEncoded is Discover over a pre-encoded relation.
+func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	start := time.Now()
+	m := len(enc.Attrs)
+	stats := Stats{Rows: enc.NumRows, Cols: m}
+	out := fdset.NewSet()
+	if m == 0 {
+		stats.Total = time.Since(start)
+		return out, stats
+	}
+
+	// Distinct agree sets once; per-RHS difference sets derive from them.
+	seen := make(map[fdset.AttrSet]struct{})
+	var agrees []fdset.AttrSet
+	for i := 0; i < enc.NumRows; i++ {
+		for j := i + 1; j < enc.NumRows; j++ {
+			stats.PairsCompared++
+			a := enc.AgreeSet(i, j)
+			if _, dup := seen[a]; !dup {
+				seen[a] = struct{}{}
+				agrees = append(agrees, a)
+			}
+		}
+	}
+	stats.AgreeSets = len(agrees)
+
+	for rhs := 0; rhs < m; rhs++ {
+		diffs := differenceSets(agrees, m, rhs)
+		stats.DiffSets += len(diffs)
+		if len(diffs) == 0 {
+			// No violating pair: ∅ → rhs.
+			out.Add(fdset.FD{LHS: fdset.EmptySet(), RHS: rhs})
+			continue
+		}
+		s := &search{diffs: diffs, rhs: rhs, out: out, stats: &stats}
+		s.dfs(fdset.EmptySet(), diffs)
+	}
+
+	stats.PcoverSize = out.Len()
+	stats.Total = time.Since(start)
+	return out, stats
+}
+
+// differenceSets returns the minimal difference sets for one RHS: the
+// complements (within R \ {rhs}) of agree sets lacking rhs, reduced to
+// ⊆-minimal elements — covering a minimal difference set covers every
+// superset of it.
+func differenceSets(agrees []fdset.AttrSet, m, rhs int) []fdset.AttrSet {
+	full := fdset.FullSet(m).Without(rhs)
+	var all []fdset.AttrSet
+	for _, a := range agrees {
+		if !a.Has(rhs) {
+			all = append(all, full.Diff(a))
+		}
+	}
+	var out []fdset.AttrSet
+	for i, d := range all {
+		minimal := true
+		for j, e := range all {
+			if i != j && e.IsSubsetOf(d) && e != d {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			out = append(out, d)
+		}
+	}
+	// Dedup (several agree sets can share a complement).
+	seen := make(map[fdset.AttrSet]struct{}, len(out))
+	uniq := out[:0]
+	for _, d := range out {
+		if _, dup := seen[d]; !dup {
+			seen[d] = struct{}{}
+			uniq = append(uniq, d)
+		}
+	}
+	return uniq
+}
+
+type search struct {
+	diffs []fdset.AttrSet
+	rhs   int
+	out   *fdset.Set
+	stats *Stats
+}
+
+// dfs extends the partial cover x. remaining holds the difference sets x
+// does not yet cover, already stripped of attributes excluded on the path
+// here, so candidate attributes always come from remaining sets.
+func (s *search) dfs(x fdset.AttrSet, remaining []fdset.AttrSet) {
+	s.stats.SearchNodes++
+	if len(remaining) == 0 {
+		// x covers everything; it is minimal iff removing any single
+		// attribute uncovers some difference set.
+		if s.isMinimalCover(x) {
+			s.out.Add(fdset.FD{LHS: x, RHS: s.rhs})
+		}
+		return
+	}
+	// Order candidate attributes by how many remaining difference sets
+	// they cover, descending (FastFDs' greedy ordering); ties break on
+	// attribute index for determinism.
+	counts := map[int]int{}
+	for _, d := range remaining {
+		d.ForEach(func(a int) bool {
+			counts[a]++
+			return true
+		})
+	}
+	attrs := make([]int, 0, len(counts))
+	for a := range counts {
+		attrs = append(attrs, a)
+	}
+	sort.Slice(attrs, func(i, j int) bool {
+		if counts[attrs[i]] != counts[attrs[j]] {
+			return counts[attrs[i]] > counts[attrs[j]]
+		}
+		return attrs[i] < attrs[j]
+	})
+	// Recurse in order; each branch forbids the attributes tried before
+	// it at this node (the classic FastFDs enumeration that visits every
+	// cover once). Forbidding is folded into the remaining sets: a set
+	// emptied by exclusions kills the branch.
+	excluded := fdset.EmptySet()
+	for _, a := range attrs {
+		next := x.With(a)
+		dead := false
+		var rem []fdset.AttrSet
+		for _, d := range remaining {
+			if d.Has(a) {
+				continue // now covered
+			}
+			nd := d.Diff(excluded)
+			if nd.IsEmpty() {
+				dead = true
+				break
+			}
+			rem = append(rem, nd)
+		}
+		if !dead {
+			s.dfs(next, rem)
+		}
+		excluded.Add(a)
+	}
+}
+
+// isMinimalCover reports whether every attribute of x is necessary:
+// dropping it leaves some difference set uncovered.
+func (s *search) isMinimalCover(x fdset.AttrSet) bool {
+	for _, a := range x.Attrs() {
+		reduced := x.Without(a)
+		covers := true
+		for _, d := range s.diffs {
+			if !reduced.Intersects(d) {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package fdset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randSet draws a random attribute set over a small universe so that subset
+// relations actually occur in property tests.
+func randSet(r *rand.Rand, universe int) AttrSet {
+	var s AttrSet
+	for a := 0; a < universe; a++ {
+		if r.Intn(2) == 0 {
+			s.Add(a)
+		}
+	}
+	return s
+}
+
+// Generate lets testing/quick synthesize AttrSet values over a 20-attribute
+// universe (dense enough for interesting overlap).
+func (AttrSet) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randSet(r, 20))
+}
+
+func TestAttrSetBasics(t *testing.T) {
+	var s AttrSet
+	if !s.IsEmpty() || s.Count() != 0 || s.First() != -1 {
+		t.Fatalf("zero value not empty: %v", s)
+	}
+	s.Add(3)
+	s.Add(64)
+	s.Add(383)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	for _, a := range []int{3, 64, 383} {
+		if !s.Has(a) {
+			t.Errorf("Has(%d) = false, want true", a)
+		}
+	}
+	if s.Has(2) || s.Has(-1) || s.Has(MaxAttrs) {
+		t.Error("Has reported membership for absent/out-of-range attrs")
+	}
+	if got := s.Attrs(); !reflect.DeepEqual(got, []int{3, 64, 383}) {
+		t.Errorf("Attrs = %v", got)
+	}
+	s.Remove(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Errorf("Remove failed: %v", s)
+	}
+}
+
+func TestAttrSetOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	var s AttrSet
+	s.Add(MaxAttrs)
+}
+
+func TestFullSet(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 128, 383, 384} {
+		s := FullSet(n)
+		if s.Count() != n {
+			t.Errorf("FullSet(%d).Count = %d", n, s.Count())
+		}
+		if n > 0 && (!s.Has(0) || !s.Has(n-1) || s.Has(n)) {
+			t.Errorf("FullSet(%d) membership wrong", n)
+		}
+	}
+}
+
+func TestNextAfter(t *testing.T) {
+	s := NewAttrSet(0, 5, 63, 64, 200)
+	want := []int{0, 5, 63, 64, 200}
+	got := []int{}
+	for a := s.First(); a >= 0; a = s.NextAfter(a) {
+		got = append(got, a)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("iteration = %v, want %v", got, want)
+	}
+	if s.NextAfter(200) != -1 || s.NextAfter(MaxAttrs) != -1 {
+		t.Error("NextAfter past end should be -1")
+	}
+	if s.NextAfter(-5) != 0 {
+		t.Error("NextAfter(-5) should return first element")
+	}
+}
+
+func TestSetAlgebraAgainstMaps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	toMap := func(s AttrSet) map[int]bool {
+		m := map[int]bool{}
+		for _, a := range s.Attrs() {
+			m[a] = true
+		}
+		return m
+	}
+	for i := 0; i < 200; i++ {
+		a, b := randSet(r, 70), randSet(r, 70)
+		ma, mb := toMap(a), toMap(b)
+		union := map[int]bool{}
+		inter := map[int]bool{}
+		diff := map[int]bool{}
+		for k := range ma {
+			union[k] = true
+			if mb[k] {
+				inter[k] = true
+			} else {
+				diff[k] = true
+			}
+		}
+		for k := range mb {
+			union[k] = true
+		}
+		if got := toMap(a.Union(b)); !reflect.DeepEqual(got, union) {
+			t.Fatalf("Union mismatch: %v vs %v", got, union)
+		}
+		if got := toMap(a.Intersect(b)); len(got) != len(inter) || !reflect.DeepEqual(got, inter) {
+			t.Fatalf("Intersect mismatch")
+		}
+		if got := toMap(a.Diff(b)); len(got) != len(diff) || !reflect.DeepEqual(got, diff) {
+			t.Fatalf("Diff mismatch")
+		}
+	}
+}
+
+func TestSubsetProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 500}
+	// s ⊆ s∪t and s∩t ⊆ s
+	if err := quick.Check(func(s, t2 AttrSet) bool {
+		return s.IsSubsetOf(s.Union(t2)) && s.Intersect(t2).IsSubsetOf(s)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// subset ⇔ union equals superset
+	if err := quick.Check(func(s, t2 AttrSet) bool {
+		return s.IsSubsetOf(t2) == (s.Union(t2) == t2)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// diff removes exactly the intersection
+	if err := quick.Check(func(s, t2 AttrSet) bool {
+		d := s.Diff(t2)
+		return !d.Intersects(t2) && d.Union(s.Intersect(t2)) == s
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Intersects consistent with Intersect
+	if err := quick.Check(func(s, t2 AttrSet) bool {
+		return s.Intersects(t2) == !s.Intersect(t2).IsEmpty()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// count is cardinality of Attrs
+	if err := quick.Check(func(s AttrSet) bool {
+		return s.Count() == len(s.Attrs())
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := NewAttrSet(1, 2)
+	t2 := s.With(9)
+	if s.Has(9) {
+		t.Error("With mutated receiver")
+	}
+	if !t2.Has(9) || !t2.Has(1) {
+		t.Error("With result wrong")
+	}
+	t3 := t2.Without(1)
+	if t2.Has(1) != true || t3.Has(1) {
+		t.Error("Without wrong")
+	}
+}
+
+func TestStringAndNames(t *testing.T) {
+	s := NewAttrSet(0, 2)
+	if s.String() != "{0,2}" {
+		t.Errorf("String = %q", s.String())
+	}
+	if got := s.Names([]string{"A", "B", "C"}); got != "[A C]" {
+		t.Errorf("Names = %q", got)
+	}
+	if got := s.Names([]string{"A"}); got != "[A #2]" {
+		t.Errorf("Names with short list = %q", got)
+	}
+	if EmptySet().String() != "{}" {
+		t.Error("empty String wrong")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	seen := map[uint64]AttrSet{}
+	for i := 0; i < 2000; i++ {
+		s := randSet(r, 100)
+		h := s.Hash()
+		if prev, ok := seen[h]; ok && prev != s {
+			t.Fatalf("hash collision between %v and %v", prev, s)
+		}
+		seen[h] = s
+	}
+}

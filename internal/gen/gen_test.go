@@ -1,0 +1,212 @@
+package gen
+
+import (
+	"reflect"
+	"testing"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/naive"
+	"eulerfd/internal/preprocess"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{
+		Name: "t", Rows: 200, Seed: 99,
+		Cols: []ColSpec{
+			{Name: "a", Kind: Categorical, Domain: 5},
+			{Name: "b", Kind: Zipf, Domain: 8},
+			{Name: "c", Kind: Derived, DependsOn: []int{0, 1}, Domain: 6},
+			{Name: "d", Kind: Key},
+			{Name: "e", Kind: Constant},
+			{Name: "f", Kind: NumericBucketed, Domain: 10},
+		},
+	}
+	r1, r2 := Generate(p), Generate(p)
+	if !reflect.DeepEqual(r1.Rows, r2.Rows) {
+		t.Fatal("generation is not deterministic")
+	}
+	p.Seed = 100
+	r3 := Generate(p)
+	if reflect.DeepEqual(r1.Rows, r3.Rows) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGenerateKinds(t *testing.T) {
+	p := Profile{
+		Name: "t", Rows: 100, Seed: 7,
+		Cols: []ColSpec{
+			{Name: "key", Kind: Key},
+			{Name: "const", Kind: Constant},
+			{Name: "cat", Kind: Categorical, Domain: 3},
+			{Name: "null", Kind: Categorical, Domain: 3, NullRate: 1.0},
+		},
+	}
+	r := Generate(p)
+	seenKeys := map[string]bool{}
+	for i, row := range r.Rows {
+		if seenKeys[row[0]] {
+			t.Fatalf("duplicate key at row %d", i)
+		}
+		seenKeys[row[0]] = true
+		if row[1] != "k" {
+			t.Errorf("constant column varied: %q", row[1])
+		}
+		if row[3] != "" {
+			t.Errorf("NullRate 1.0 left a value: %q", row[3])
+		}
+	}
+	enc := preprocess.Encode(r)
+	if enc.NumLabels[2] > 3 || enc.NumLabels[2] < 2 {
+		t.Errorf("categorical domain wrong: %d distinct", enc.NumLabels[2])
+	}
+}
+
+func TestDerivedPlantsFD(t *testing.T) {
+	p := Profile{
+		Name: "t", Rows: 400, Seed: 21,
+		Cols: []ColSpec{
+			{Name: "a", Kind: Categorical, Domain: 12},
+			{Name: "b", Kind: Categorical, Domain: 12},
+			{Name: "f", Kind: Derived, DependsOn: []int{0, 1}, Domain: 9},
+		},
+	}
+	enc := preprocess.Encode(Generate(p))
+	if !enc.Holds(fdset.NewAttrSet(0, 1), 2) {
+		t.Fatal("planted FD {a,b} → f does not hold")
+	}
+	// Sanity: f alone must not determine a (domains collide).
+	if enc.Holds(fdset.NewAttrSet(2), 0) {
+		t.Error("suspicious: derived column determines its source")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	p := Profile{Name: "t", Rows: 5000, Seed: 3,
+		Cols: []ColSpec{{Name: "z", Kind: Zipf, Domain: 10}}}
+	r := Generate(p)
+	counts := map[string]int{}
+	for _, row := range r.Rows {
+		counts[row[0]]++
+	}
+	if counts["v0"] <= counts["v9"] {
+		t.Errorf("no skew: v0=%d v9=%d", counts["v0"], counts["v9"])
+	}
+	if counts["v0"] < 5000/10 {
+		t.Errorf("head rank too light: %d", counts["v0"])
+	}
+}
+
+func TestPatientMatchesPaper(t *testing.T) {
+	r := Patient()
+	if r.NumRows() != 9 || r.NumCols() != 5 {
+		t.Fatalf("shape %dx%d", r.NumRows(), r.NumCols())
+	}
+	fds := naive.Discover(r)
+	if !fds.Contains(fdset.NewFD([]int{1, 2}, 4)) { // AB → M
+		t.Error("patient fixture lost AB -> M")
+	}
+}
+
+func TestNamedGeneratorsShapes(t *testing.T) {
+	cases := []struct {
+		rel        interface{ NumRows() int }
+		rows, cols int
+	}{}
+	_ = cases
+	check := func(name string, rows, cols int, gen func() interface {
+		NumRows() int
+		NumCols() int
+	}) {
+		t.Run(name, func(t *testing.T) {
+			r := gen()
+			if r.NumRows() != rows || r.NumCols() != cols {
+				t.Errorf("%s shape = %dx%d, want %dx%d", name, r.NumRows(), r.NumCols(), rows, cols)
+			}
+		})
+	}
+	check("fdreduced", 500, 30, func() interface {
+		NumRows() int
+		NumCols() int
+	} {
+		return FDReduced("fdr", 500, 30, 1)
+	})
+	check("lineitem", 800, 16, func() interface {
+		NumRows() int
+		NumCols() int
+	} {
+		return Lineitem("li", 800, 2)
+	})
+	check("weather", 600, 18, func() interface {
+		NumRows() int
+		NumCols() int
+	} {
+		return Weather("w", 600, 3)
+	})
+	check("widesparse", 200, 63, func() interface {
+		NumRows() int
+		NumCols() int
+	} {
+		return WideSparse("ws", 200, 63, 4)
+	})
+	check("uci", 150, 5, func() interface {
+		NumRows() int
+		NumCols() int
+	} {
+		return UCITable("u", 150, 5, false, 3, 5)
+	})
+}
+
+func TestLineitemPlantedFDs(t *testing.T) {
+	enc := preprocess.Encode(Lineitem("li", 1000, 11))
+	// partkey,quantity → extendedprice and shipdate → linestatus.
+	if !enc.Holds(fdset.NewAttrSet(1, 4), 5) {
+		t.Error("price FD missing")
+	}
+	if !enc.Holds(fdset.NewAttrSet(10), 9) {
+		t.Error("shipdate → linestatus missing")
+	}
+}
+
+func TestWeatherStationMetadata(t *testing.T) {
+	enc := preprocess.Encode(Weather("w", 1500, 13))
+	if !enc.Holds(fdset.NewAttrSet(0), 1) || !enc.Holds(fdset.NewAttrSet(1), 2) {
+		t.Error("station → region → country chain missing")
+	}
+}
+
+func TestWideSparseDeterministicAndDense(t *testing.T) {
+	a := WideSparse("p", 150, 40, 77)
+	b := WideSparse("p", 150, 40, 77)
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatal("WideSparse not deterministic")
+	}
+	// At least one null-heavy column should exist.
+	nulls := 0
+	for _, row := range a.Rows {
+		for _, cell := range row {
+			if cell == "" {
+				nulls++
+			}
+		}
+	}
+	if nulls == 0 {
+		t.Error("expected null-heavy columns")
+	}
+}
+
+func TestIntSqrt(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{0, 0}, {1, 1}, {3, 1}, {4, 2}, {15, 3}, {16, 4}, {-5, 0}, {10000, 100}} {
+		if got := intSqrt(c.n); got != c.want {
+			t.Errorf("intSqrt(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestIntCbrt(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{0, 0}, {1, 1}, {7, 1}, {8, 2}, {26, 2}, {27, 3}, {1000, 10}, {-3, 0}} {
+		if got := intCbrt(c.n); got != c.want {
+			t.Errorf("intCbrt(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

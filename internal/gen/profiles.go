@@ -1,0 +1,267 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"eulerfd/internal/dataset"
+)
+
+// Patient returns the running example of the paper (Table I).
+func Patient() *dataset.Relation {
+	return dataset.MustNew("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+}
+
+// FDReduced mimics the fd-reduced benchmark family (generated originally
+// by dbtesma): independent medium-cardinality columns whose accidental
+// agreements create a large population of mid-level FDs that grows with
+// width and shrinks with height.
+func FDReduced(name string, rows, cols int, seed int64) *dataset.Relation {
+	// Domain d ≈ (2·rows²)^(1/3) puts accidental keys exactly at LHS size
+	// three: pairs collide on any fixed 2-attribute combination (rows²/d²
+	// ≫ 1 expected collisions) but almost never on a 3-attribute one
+	// (rows²/d³ ≲ 1), which is where the original dbtesma configuration
+	// concentrates its ~90k FDs.
+	d := intCbrt(2 * rows * rows)
+	if d < 4 {
+		d = 4
+	}
+	specs := make([]ColSpec, cols)
+	for i := range specs {
+		specs[i] = ColSpec{Name: fmt.Sprintf("col%d", i), Kind: Categorical, Domain: d}
+	}
+	return Generate(Profile{Name: name, Rows: rows, Cols: specs, Seed: seed})
+}
+
+// intCbrt returns ⌊n^(1/3)⌋.
+func intCbrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}
+
+// Lineitem mimics TPC-H lineitem (16 columns, tall and narrow): order
+// grouping, line numbers, part/supplier keys, and priced-out derived
+// columns. Plants the dependency structure of the original: price fields
+// are functions of part and quantity, flags are functions of dates.
+func Lineitem(name string, rows int, seed int64) *dataset.Relation {
+	orderDomain := rows / 4
+	if orderDomain < 1 {
+		orderDomain = 1
+	}
+	specs := []ColSpec{
+		{Name: "orderkey", Kind: Categorical, Domain: orderDomain},
+		{Name: "partkey", Kind: Categorical, Domain: rows / 8},
+		{Name: "suppkey", Kind: Derived, DependsOn: []int{1}, Domain: rows / 32}, // supplier tied to part
+		{Name: "linenumber", Kind: Categorical, Domain: 7},
+		{Name: "quantity", Kind: Categorical, Domain: 50},
+		{Name: "extendedprice", Kind: Derived, DependsOn: []int{1, 4}}, // partkey,quantity → price
+		{Name: "discount", Kind: Categorical, Domain: 11},
+		{Name: "tax", Kind: Categorical, Domain: 9},
+		{Name: "returnflag", Kind: Derived, DependsOn: []int{10}, Domain: 3}, // receiptdate → flag
+		{Name: "linestatus", Kind: Derived, DependsOn: []int{9}, Domain: 2},  // shipdate → status
+		{Name: "shipdate", Kind: Categorical, Domain: 2500},
+		{Name: "commitdate", Kind: Categorical, Domain: 2500},
+		{Name: "receiptdate", Kind: Categorical, Domain: 2500},
+		{Name: "shipinstruct", Kind: Zipf, Domain: 4},
+		{Name: "shipmode", Kind: Zipf, Domain: 7},
+		{Name: "comment", Kind: Categorical, Domain: rows / 2},
+	}
+	for i := range specs {
+		if specs[i].Domain < 1 {
+			specs[i].Domain = 1
+		}
+	}
+	return Generate(Profile{Name: name, Rows: rows, Cols: specs, Seed: seed})
+}
+
+// Weather mimics a tall sensor-log table (18 columns): station metadata
+// functionally determined by the station id, measurements bucketed into
+// medium cardinality, and a derived condition code.
+func Weather(name string, rows int, seed int64) *dataset.Relation {
+	specs := []ColSpec{
+		{Name: "station", Kind: Zipf, Domain: 40},
+		{Name: "region", Kind: Derived, DependsOn: []int{0}, Domain: 12},
+		{Name: "country", Kind: Derived, DependsOn: []int{1}, Domain: 5},
+		{Name: "latitude", Kind: Derived, DependsOn: []int{0}},
+		{Name: "longitude", Kind: Derived, DependsOn: []int{0}},
+		{Name: "elevation", Kind: Derived, DependsOn: []int{0}, Domain: 200},
+		{Name: "date", Kind: Categorical, Domain: 365},
+		{Name: "hour", Kind: Categorical, Domain: 24},
+		{Name: "temp", Kind: NumericBucketed, Domain: 60},
+		{Name: "humidity", Kind: NumericBucketed, Domain: 100},
+		{Name: "pressure", Kind: NumericBucketed, Domain: 80},
+		{Name: "windspeed", Kind: NumericBucketed, Domain: 45},
+		{Name: "winddir", Kind: Categorical, Domain: 16},
+		{Name: "condition", Kind: Derived, DependsOn: []int{9, 10}, Domain: 9},
+		{Name: "visibility", Kind: NumericBucketed, Domain: 20},
+		{Name: "dewpoint", Kind: Derived, DependsOn: []int{8, 9}, Domain: 50},
+		{Name: "gust", Kind: NumericBucketed, Domain: 30, NullRate: 0.4},
+		{Name: "remark", Kind: Zipf, Domain: 25, NullRate: 0.2},
+	}
+	return Generate(Profile{Name: name, Rows: rows, Cols: specs, Seed: seed})
+}
+
+// WideSparse mimics the wide, FD-dense web datasets of the evaluation
+// (plista, flight, uniprot). Real wide tables are *block-correlated*:
+// many columns are functions of a few latent entities (an ad, a flight, a
+// protein), so tuple pairs produce a bounded variety of agree patterns
+// even across hundreds of columns. The generator draws one latent factor
+// per block of ~8 columns and derives most block columns from it; the
+// remaining columns are independent noise or null-heavy sparse fields.
+//
+// The resulting FD structure matches the originals' character: dense
+// intra-block singleton FDs plus a large population of small cross-block
+// composite keys — large FD counts that invert quickly because the
+// negative cover stays small.
+func WideSparse(name string, rows, cols int, seed int64) *dataset.Relation {
+	return WideSparseTuned(name, rows, cols, 0.15, 0.2, seed)
+}
+
+// WideSparseTuned is WideSparse with explicit shape knobs, both in [0, 1]:
+// sparsity is the fraction of columns that are independent noise rather
+// than block-derived (more noise → wider variety of agree sets → thicker
+// FD lattice), and keyFrac is the fraction of columns that are unique
+// identifiers (every key column k contributes the m-1 singleton FDs
+// k → z, the dominant FD population of id- and text-heavy wide tables
+// like uniprot).
+func WideSparseTuned(name string, rows, cols int, sparsity, keyFrac float64, seed int64) *dataset.Relation {
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+	nblocks := (cols - int(float64(cols)*keyFrac)) / 8
+	if nblocks < 2 {
+		nblocks = 2
+	}
+	specs := make([]ColSpec, cols)
+	// Latent factors first: medium-cardinality categorical columns that
+	// anchor their blocks.
+	for b := 0; b < nblocks && b < cols; b++ {
+		specs[b] = ColSpec{
+			Name:   fmt.Sprintf("f%d", b),
+			Kind:   Categorical,
+			Domain: maxInt(rows/4, 6) + r.Intn(maxInt(rows/4, 6)),
+		}
+	}
+	for i := nblocks; i < cols; i++ {
+		specs[i].Name = fmt.Sprintf("a%d", i)
+		if r.Float64() < keyFrac {
+			specs[i].Kind = Key
+			continue
+		}
+		if r.Float64() < sparsity {
+			// Independent noise: either null-tinged sparse or a code.
+			// Agreement probabilities are kept low — high-probability
+			// accidental agreements would make every tuple pair witness
+			// a distinct agree pattern, which no real wide table does.
+			if r.Intn(2) == 0 {
+				specs[i].Kind = Categorical
+				specs[i].Domain = 12 + r.Intn(18)
+				specs[i].NullRate = 0.05 + 0.2*r.Float64()
+			} else {
+				specs[i].Kind = Zipf
+				specs[i].Domain = 8 + r.Intn(8)
+			}
+			continue
+		}
+		// Block-derived: a near-injective function of this column's
+		// latent factor (two rows agree on the column almost exactly
+		// when they share the factor); occasionally of two factors.
+		block := i % nblocks
+		deps := []int{block}
+		if r.Intn(8) == 0 {
+			other := r.Intn(nblocks)
+			if other != block {
+				deps = append(deps, other)
+			}
+		}
+		base := maxInt(rows/2, 24)
+		specs[i] = ColSpec{
+			Name:      fmt.Sprintf("a%d", i),
+			Kind:      Derived,
+			DependsOn: deps,
+			Domain:    base + r.Intn(base),
+		}
+	}
+	return Generate(Profile{Name: name, Rows: rows, Cols: specs, Seed: seed})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// UCITable mimics the small UCI classification datasets (iris, abalone,
+// letter, adult, ...): one optional id column, bucketed numeric features,
+// small categorical features, and a derived class label.
+func UCITable(name string, rows, cols int, withKey bool, classDomain int, seed int64) *dataset.Relation {
+	r := rand.New(rand.NewSource(seed ^ 0xac1))
+	specs := make([]ColSpec, cols)
+	start := 0
+	if withKey {
+		specs[0] = ColSpec{Name: "id", Kind: Key}
+		start = 1
+	}
+	for i := start; i < cols-1; i++ {
+		if r.Intn(2) == 0 {
+			specs[i] = ColSpec{Name: fmt.Sprintf("f%d", i), Kind: NumericBucketed, Domain: 6 + r.Intn(30)}
+		} else {
+			specs[i] = ColSpec{Name: fmt.Sprintf("f%d", i), Kind: Zipf, Domain: 2 + r.Intn(12)}
+		}
+	}
+	// Class label depends on two feature columns.
+	a := start + r.Intn(max(cols-1-start, 1))
+	b := start + r.Intn(max(cols-1-start, 1))
+	deps := []int{a}
+	if b != a {
+		deps = append(deps, b)
+	}
+	if classDomain < 1 {
+		classDomain = 3
+	}
+	specs[cols-1] = ColSpec{Name: "class", Kind: Derived, DependsOn: deps, Domain: classDomain}
+	return Generate(Profile{Name: name, Rows: rows, Cols: specs, Seed: seed})
+}
+
+// DMSShape generates a relation for the simulated DMS fleet (Table V):
+// a random mix of key, categorical, sparse, and derived columns whose
+// overall character is controlled only by the row and column counts.
+// Wider fleet tables carry more unique-id columns, like the production
+// tables they stand in for — which also keeps their FD populations at
+// fleet-processable sizes.
+func DMSShape(name string, rows, cols int, seed int64) *dataset.Relation {
+	keyFrac := 0.2
+	if cols > 50 {
+		keyFrac = 0.6
+	}
+	return WideSparseTuned(name, rows, cols, 0.1, keyFrac, seed)
+}
+
+// intSqrt returns ⌊√n⌋ for small n without pulling in math.
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

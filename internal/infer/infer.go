@@ -1,0 +1,135 @@
+// Package infer provides reasoning over a discovered FD set: attribute-set
+// closures under Armstrong's axioms, implication tests, candidate-key
+// enumeration, and Boyce-Codd Normal Form checks. These are the
+// schema-normalization and query-optimization primitives that the paper's
+// introduction motivates FD discovery with.
+package infer
+
+import (
+	"sort"
+
+	"eulerfd/internal/fdset"
+)
+
+// Closure returns the closure of x under fds: the largest set X⁺ with
+// x ⊆ X⁺ such that every attribute of X⁺ is determined by x. ncols bounds
+// the attribute universe.
+func Closure(fds *fdset.Set, x fdset.AttrSet, ncols int) fdset.AttrSet {
+	closure := x
+	// Fixpoint iteration; each round scans the FD set once. The FD sets
+	// produced by discovery are minimal, so rounds are few.
+	for {
+		changed := false
+		fds.ForEach(func(f fdset.FD) {
+			if f.RHS < ncols && !closure.Has(f.RHS) && f.LHS.IsSubsetOf(closure) {
+				closure.Add(f.RHS)
+				changed = true
+			}
+		})
+		if !changed {
+			return closure
+		}
+	}
+}
+
+// Implies reports whether fds logically imply the dependency x → a,
+// i.e. whether a ∈ x⁺.
+func Implies(fds *fdset.Set, x fdset.AttrSet, a, ncols int) bool {
+	if x.Has(a) {
+		return true // trivial dependencies always hold
+	}
+	return Closure(fds, x, ncols).Has(a)
+}
+
+// IsSuperkey reports whether x determines every attribute of the schema.
+func IsSuperkey(fds *fdset.Set, x fdset.AttrSet, ncols int) bool {
+	return Closure(fds, x, ncols) == fdset.FullSet(ncols)
+}
+
+// CandidateKeys enumerates the minimal superkeys of a schema with ncols
+// attributes under fds, in deterministic order. The search walks the
+// subset lattice breadth-first, pruning supersets of found keys, so it is
+// exponential in the worst case — callers should bound ncols (maxCols ≤
+// 24 is enforced; wider schemas rarely want full key enumeration).
+func CandidateKeys(fds *fdset.Set, ncols int) []fdset.AttrSet {
+	const maxCols = 24
+	if ncols > maxCols {
+		panic("infer: CandidateKeys limited to 24 attributes")
+	}
+	if ncols == 0 {
+		return nil
+	}
+	var keys []fdset.AttrSet
+	level := []fdset.AttrSet{fdset.EmptySet()}
+	for size := 0; size <= ncols && len(level) > 0; size++ {
+		var next []fdset.AttrSet
+		seen := map[fdset.AttrSet]struct{}{}
+		for _, x := range level {
+			blocked := false
+			for _, k := range keys {
+				if k.IsSubsetOf(x) {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			if IsSuperkey(fds, x, ncols) {
+				keys = append(keys, x)
+				continue
+			}
+			start := 0
+			if last := lastAttr(x); last >= 0 {
+				start = last + 1
+			}
+			for a := start; a < ncols; a++ {
+				c := x.With(a)
+				if _, dup := seen[c]; !dup {
+					seen[c] = struct{}{}
+					next = append(next, c)
+				}
+			}
+		}
+		level = next
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return fdset.Less(fdset.FD{LHS: keys[i]}, fdset.FD{LHS: keys[j]})
+	})
+	return keys
+}
+
+// BCNFViolation returns a discovered FD whose LHS is not a superkey — a
+// Boyce-Codd Normal Form violation — or ok = false when the schema is in
+// BCNF with respect to fds. Trivial FDs never violate BCNF.
+func BCNFViolation(fds *fdset.Set, ncols int) (fdset.FD, bool) {
+	for _, f := range fds.Slice() {
+		if f.IsTrivial() {
+			continue
+		}
+		if !IsSuperkey(fds, f.LHS, ncols) {
+			return f, true
+		}
+	}
+	return fdset.FD{}, false
+}
+
+// Decompose splits a schema along a BCNF-violating FD: the first fragment
+// is the closure of the violating LHS, the second is the LHS plus every
+// attribute outside that closure. The decomposition is lossless because
+// the shared attributes (the LHS) are a key of the first fragment.
+func Decompose(fds *fdset.Set, violation fdset.FD, ncols int) (left, right fdset.AttrSet) {
+	closure := Closure(fds, violation.LHS, ncols)
+	left = closure
+	right = violation.LHS.Union(fdset.FullSet(ncols).Diff(closure))
+	return left, right
+}
+
+func lastAttr(s fdset.AttrSet) int {
+	last := -1
+	s.ForEach(func(a int) bool {
+		last = a
+		return true
+	})
+	return last
+}

@@ -1,0 +1,40 @@
+// Package metrics computes the accuracy measures of the paper's
+// evaluation: precision, recall, and F1 score between a discovered FD set
+// and the exact ground truth (Section V-B).
+package metrics
+
+import "eulerfd/internal/fdset"
+
+// Result holds the accuracy of a discovered FD set against ground truth.
+type Result struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	Precision      float64
+	Recall         float64
+	F1             float64
+}
+
+// Evaluate compares the discovered set against the exact truth set,
+// matching FDs exactly (same LHS and RHS), the convention of comparing
+// sets of minimal non-trivial FDs.
+func Evaluate(discovered, truth *fdset.Set) Result {
+	var r Result
+	discovered.ForEach(func(f fdset.FD) {
+		if truth.Contains(f) {
+			r.TruePositives++
+		} else {
+			r.FalsePositives++
+		}
+	})
+	r.FalseNegatives = truth.Len() - r.TruePositives
+	if tp := float64(r.TruePositives); tp > 0 {
+		r.Precision = tp / float64(r.TruePositives+r.FalsePositives)
+		r.Recall = tp / float64(r.TruePositives+r.FalseNegatives)
+		r.F1 = 2 * r.Precision * r.Recall / (r.Precision + r.Recall)
+	} else if discovered.Len() == 0 && truth.Len() == 0 {
+		// Nothing to find and nothing found is a perfect score.
+		r.Precision, r.Recall, r.F1 = 1, 1, 1
+	}
+	return r
+}

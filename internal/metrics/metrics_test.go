@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"eulerfd/internal/fdset"
+)
+
+func fd(lhs []int, rhs int) fdset.FD { return fdset.NewFD(lhs, rhs) }
+
+func TestEvaluatePerfect(t *testing.T) {
+	s := fdset.NewSet(fd([]int{0}, 1), fd([]int{2}, 3))
+	r := Evaluate(s, s.Clone())
+	if r.F1 != 1 || r.Precision != 1 || r.Recall != 1 {
+		t.Errorf("perfect match scored %+v", r)
+	}
+}
+
+func TestEvaluateBothEmpty(t *testing.T) {
+	r := Evaluate(fdset.NewSet(), fdset.NewSet())
+	if r.F1 != 1 {
+		t.Errorf("empty vs empty should be 1, got %+v", r)
+	}
+}
+
+func TestEvaluateDisjoint(t *testing.T) {
+	a := fdset.NewSet(fd([]int{0}, 1))
+	b := fdset.NewSet(fd([]int{1}, 0))
+	r := Evaluate(a, b)
+	if r.F1 != 0 || r.Precision != 0 || r.Recall != 0 {
+		t.Errorf("disjoint sets scored %+v", r)
+	}
+	if r.FalsePositives != 1 || r.FalseNegatives != 1 {
+		t.Errorf("counts wrong: %+v", r)
+	}
+}
+
+func TestEvaluatePartial(t *testing.T) {
+	truth := fdset.NewSet(fd([]int{0}, 1), fd([]int{0}, 2), fd([]int{0}, 3), fd([]int{0}, 4))
+	disc := fdset.NewSet(fd([]int{0}, 1), fd([]int{0}, 2), fd([]int{0}, 3), fd([]int{9}, 1))
+	r := Evaluate(disc, truth)
+	if r.TruePositives != 3 || r.FalsePositives != 1 || r.FalseNegatives != 1 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if math.Abs(r.Precision-0.75) > 1e-12 || math.Abs(r.Recall-0.75) > 1e-12 {
+		t.Errorf("P/R wrong: %+v", r)
+	}
+	if math.Abs(r.F1-0.75) > 1e-12 {
+		t.Errorf("F1 = %v", r.F1)
+	}
+}
+
+func TestEvaluateEmptyDiscovered(t *testing.T) {
+	truth := fdset.NewSet(fd([]int{0}, 1))
+	r := Evaluate(fdset.NewSet(), truth)
+	if r.F1 != 0 || r.FalseNegatives != 1 {
+		t.Errorf("missed everything scored %+v", r)
+	}
+}

@@ -1,0 +1,101 @@
+package naive
+
+import (
+	"testing"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+func patient() *dataset.Relation {
+	return dataset.MustNew("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+}
+
+func TestDiscoverPatientContainsPaperFDs(t *testing.T) {
+	fds := Discover(patient())
+	// Example 1 / Example 3: AB → M is minimal; N → B holds (N is a key,
+	// so N → X for every X, all minimal since ∅ → X fails).
+	mustHave := []fdset.FD{
+		fdset.NewFD([]int{1, 2}, 4), // AB → M
+		fdset.NewFD([]int{0}, 2),    // N → B
+		fdset.NewFD([]int{0}, 1),    // N → A
+	}
+	for _, f := range mustHave {
+		if !fds.Contains(f) {
+			t.Errorf("missing %v", f)
+		}
+	}
+	// NG → M is valid but not minimal (Example 3): must be absent.
+	if fds.Contains(fdset.NewFD([]int{0, 3}, 4)) {
+		t.Error("non-minimal NG -> M present")
+	}
+	// G ↛ M (Example 1): must be absent.
+	if fds.Contains(fdset.NewFD([]int{3}, 4)) {
+		t.Error("invalid G -> M present")
+	}
+	// Every output must be valid, minimal, non-trivial.
+	enc := preprocess.Encode(patient())
+	fds.ForEach(func(f fdset.FD) {
+		if f.IsTrivial() || !IsMinimal(enc, f.LHS, f.RHS) {
+			t.Errorf("bad output %v", f)
+		}
+	})
+}
+
+func TestDiscoverDegenerates(t *testing.T) {
+	// All rows identical: every attribute is constant, so ∅ → A for all A.
+	r := dataset.MustNew("same", []string{"A", "B"}, [][]string{{"x", "y"}, {"x", "y"}})
+	fds := Discover(r)
+	if fds.Len() != 2 || !fds.Contains(fdset.FD{LHS: fdset.EmptySet(), RHS: 0}) {
+		t.Errorf("constant relation: %v", fds.Slice())
+	}
+	// Empty relation: every FD holds vacuously; minimal ones are ∅ → A.
+	e := dataset.MustNew("empty", []string{"A", "B"}, nil)
+	fds = Discover(e)
+	if fds.Len() != 2 {
+		t.Errorf("empty relation: %v", fds.Slice())
+	}
+	// Single column: no non-trivial FD exists unless constant.
+	s := dataset.MustNew("one", []string{"A"}, [][]string{{"x"}, {"y"}})
+	if got := Discover(s); got.Len() != 0 {
+		t.Errorf("single varying column: %v", got.Slice())
+	}
+}
+
+func TestHoldsMatchesPreprocess(t *testing.T) {
+	enc := preprocess.Encode(patient())
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			x := fdset.NewAttrSet(a)
+			if got, want := Holds(enc, x, b), enc.Holds(x, b); got != want {
+				t.Errorf("Holds({%d}->%d) = %v, preprocess says %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestTooWidePanics(t *testing.T) {
+	attrs := make([]string, MaxCols+1)
+	for i := range attrs {
+		attrs[i] = string(rune('A' + i))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wide relation")
+		}
+	}()
+	Discover(dataset.MustNew("wide", attrs, nil))
+}

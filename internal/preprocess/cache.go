@@ -1,0 +1,117 @@
+package preprocess
+
+import (
+	"container/list"
+
+	"eulerfd/internal/fdset"
+)
+
+// PartitionCache memoizes stripped partitions of attribute sets with LRU
+// eviction. Lattice-walking algorithms (Dfd) probe partitions of sets
+// that differ by single attributes; the cache derives a partition from a
+// cached neighbor with one refinement step instead of |X| steps from
+// scratch, which is the partition-reuse optimization of the original Dfd.
+type PartitionCache struct {
+	enc     *Encoded
+	max     int
+	entries map[fdset.AttrSet]*list.Element
+	order   *list.List // front = most recent
+
+	// Stats
+	Hits, Misses, Derived int
+}
+
+type cacheEntry struct {
+	key  fdset.AttrSet
+	part StrippedPartition
+}
+
+// NewPartitionCache builds a cache over an encoded relation holding at
+// most max partitions (max < 1 means 256).
+func NewPartitionCache(enc *Encoded, max int) *PartitionCache {
+	if max < 1 {
+		max = 256
+	}
+	return &PartitionCache{
+		enc:     enc,
+		max:     max,
+		entries: make(map[fdset.AttrSet]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the stripped partition of x, computing and caching it if
+// needed. Single-attribute partitions come straight from preprocessing
+// and are not cached (they are already materialized).
+func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
+	switch x.Count() {
+	case 0:
+		return c.enc.PartitionOf(x)
+	case 1:
+		return c.enc.Partitions[x.First()]
+	}
+	if el, ok := c.entries[x]; ok {
+		c.Hits++
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).part
+	}
+	c.Misses++
+	part, ok := c.deriveFromNeighbor(x)
+	if !ok {
+		part = c.enc.PartitionOf(x)
+	}
+	c.put(x, part)
+	return part
+}
+
+// deriveFromNeighbor tries to build π_x with one refinement of a cached
+// partition of x minus one attribute.
+func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition, bool) {
+	var derived StrippedPartition
+	found := false
+	x.ForEach(func(a int) bool {
+		sub := x.Without(a)
+		if sub.Count() == 1 {
+			derived = c.enc.Refine(c.enc.Partitions[sub.First()], a)
+			found = true
+			return false
+		}
+		if el, ok := c.entries[sub]; ok {
+			c.order.MoveToFront(el)
+			derived = c.enc.Refine(el.Value.(*cacheEntry).part, a)
+			found = true
+			return false
+		}
+		return true
+	})
+	if found {
+		c.Derived++
+	}
+	return derived, found
+}
+
+func (c *PartitionCache) put(x fdset.AttrSet, part StrippedPartition) {
+	c.entries[x] = c.order.PushFront(&cacheEntry{key: x, part: part})
+	for len(c.entries) > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.entries, back.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached partitions.
+func (c *PartitionCache) Len() int { return len(c.entries) }
+
+// ConstantOn reports whether every cluster of part is constant on
+// attribute a — the validity check X → a given π_X.
+func (e *Encoded) ConstantOn(part StrippedPartition, a int) bool {
+	for _, cluster := range part.Clusters {
+		first := e.Labels[cluster[0]][a]
+		for _, r := range cluster[1:] {
+			if e.Labels[r][a] != first {
+				return false
+			}
+		}
+	}
+	return true
+}

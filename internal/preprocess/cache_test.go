@@ -1,0 +1,99 @@
+package preprocess
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"eulerfd/internal/fdset"
+)
+
+func TestPartitionCacheCorrectness(t *testing.T) {
+	r := rand.New(rand.NewSource(163))
+	rel := randomRelation(r, 50, 5, 3)
+	enc := Encode(rel)
+	c := NewPartitionCache(enc, 16)
+	for trial := 0; trial < 200; trial++ {
+		var x fdset.AttrSet
+		for a := 0; a < 5; a++ {
+			if r.Intn(2) == 0 {
+				x.Add(a)
+			}
+		}
+		got := sortedClusters(c.Get(x))
+		want := sortedClusters(enc.PartitionOf(x))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cache Get(%v) = %v, want %v", x, got, want)
+		}
+	}
+	if c.Hits == 0 {
+		t.Error("repeated queries produced no cache hits")
+	}
+	if c.Len() > 16 {
+		t.Errorf("cache exceeded its bound: %d", c.Len())
+	}
+}
+
+func TestPartitionCacheDerivesFromNeighbors(t *testing.T) {
+	rel := randomRelation(rand.New(rand.NewSource(1)), 60, 4, 2)
+	enc := Encode(rel)
+	c := NewPartitionCache(enc, 64)
+	// Prime with {0,1}; then {0,1,2} should derive with one refinement.
+	c.Get(fdset.NewAttrSet(0, 1))
+	before := c.Derived
+	c.Get(fdset.NewAttrSet(0, 1, 2))
+	if c.Derived != before+1 {
+		t.Errorf("expected neighbor derivation, Derived = %d -> %d", before, c.Derived)
+	}
+}
+
+func TestPartitionCacheEviction(t *testing.T) {
+	rel := randomRelation(rand.New(rand.NewSource(2)), 30, 6, 2)
+	enc := Encode(rel)
+	c := NewPartitionCache(enc, 2)
+	a := fdset.NewAttrSet(0, 1)
+	b := fdset.NewAttrSet(1, 2)
+	d := fdset.NewAttrSet(2, 3)
+	c.Get(a)
+	c.Get(b)
+	c.Get(d) // evicts a
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	misses := c.Misses
+	c.Get(a)
+	if c.Misses != misses+1 {
+		t.Error("evicted entry should miss")
+	}
+}
+
+func TestPartitionCacheSmallSets(t *testing.T) {
+	enc := Encode(patient())
+	c := NewPartitionCache(enc, 0) // default bound
+	if got := sortedClusters(c.Get(fdset.EmptySet())); len(got) != 1 {
+		t.Errorf("empty-set partition = %v", got)
+	}
+	got := sortedClusters(c.Get(fdset.NewAttrSet(3)))
+	want := sortedClusters(enc.Partitions[3])
+	if !reflect.DeepEqual(got, want) {
+		t.Error("single-attribute partition should pass through")
+	}
+	if c.Len() != 0 {
+		t.Error("small sets must not be cached")
+	}
+}
+
+func TestConstantOn(t *testing.T) {
+	enc := Encode(patient())
+	// G → M is violated; N → anything holds (key column, empty partition).
+	if enc.ConstantOn(enc.Partitions[3], 4) {
+		t.Error("Gender partition should not be constant on Medicine")
+	}
+	if !enc.ConstantOn(enc.Partitions[0], 4) {
+		t.Error("empty partition is vacuously constant")
+	}
+	// AB → M (Example 1): the {A,B} partition is constant on M.
+	if !enc.ConstantOn(enc.PartitionOf(fdset.NewAttrSet(1, 2)), 4) {
+		t.Error("AB partition should be constant on M")
+	}
+}

@@ -1,0 +1,70 @@
+package preprocess
+
+import (
+	"fmt"
+)
+
+// Encoder label-encodes rows incrementally, retaining per-column
+// dictionaries so that appended batches map equal values to equal labels.
+// It backs incremental discovery (core.Incremental): appending rows never
+// relabels existing ones, so previously observed non-FDs stay valid.
+type Encoder struct {
+	attrs  []string
+	dicts  []map[string]int32
+	labels [][]int32
+}
+
+// NewEncoder prepares an encoder for the given schema.
+func NewEncoder(attrs []string) *Encoder {
+	dicts := make([]map[string]int32, len(attrs))
+	for i := range dicts {
+		dicts[i] = make(map[string]int32)
+	}
+	return &Encoder{attrs: attrs, dicts: dicts}
+}
+
+// Append encodes a batch of rows. Every row must match the schema width.
+func (e *Encoder) Append(rows [][]string) error {
+	for i, row := range rows {
+		if len(row) != len(e.attrs) {
+			return fmt.Errorf("preprocess: appended row %d has %d cells, schema has %d attributes", i, len(row), len(e.attrs))
+		}
+	}
+	for _, row := range rows {
+		encoded := make([]int32, len(e.attrs))
+		for c, v := range row {
+			label, ok := e.dicts[c][v]
+			if !ok {
+				label = int32(len(e.dicts[c]))
+				e.dicts[c][v] = label
+			}
+			encoded[c] = label
+		}
+		e.labels = append(e.labels, encoded)
+	}
+	return nil
+}
+
+// NumRows returns the number of rows encoded so far.
+func (e *Encoder) NumRows() int { return len(e.labels) }
+
+// Snapshot materializes the current state as an Encoded relation,
+// rebuilding the stripped partitions. The labels slice is shared with the
+// encoder (rows already encoded are never mutated).
+func (e *Encoder) Snapshot(name string) *Encoded {
+	enc := &Encoded{
+		Name:      name,
+		Attrs:     e.attrs,
+		NumRows:   len(e.labels),
+		Labels:    e.labels,
+		NumLabels: make([]int, len(e.attrs)),
+	}
+	for c := range e.attrs {
+		enc.NumLabels[c] = len(e.dicts[c])
+	}
+	enc.Partitions = make([]StrippedPartition, len(e.attrs))
+	for c := range e.attrs {
+		enc.Partitions[c] = enc.columnPartition(c)
+	}
+	return enc
+}

@@ -1,0 +1,267 @@
+// Package preprocess implements EulerFD's preprocessing module (Section
+// IV-B of the paper): raw string-valued relations are converted into
+// numeric label matrices organized in partitions (Definition 6) and
+// stripped partitions (Definition 7).
+//
+// All discovery algorithms in this repository — EulerFD, AID-FD, TANE,
+// Fdep, HyFD — operate on the Encoded form, never on raw values.
+package preprocess
+
+import (
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+)
+
+// Encoded is a relation after label encoding. Labels are dense per column:
+// for column c, labels range over [0, NumLabels[c]) and two rows share a
+// label exactly when they share the original cell value. Labels of different
+// columns are independent (they may repeat across columns).
+type Encoded struct {
+	Name    string
+	Attrs   []string
+	NumRows int
+	// Labels is row-major: Labels[row][col] is the numeric label of the
+	// cell. Row-major layout makes pairwise tuple comparison (the hot loop
+	// of every induction algorithm) a single contiguous scan per tuple.
+	Labels [][]int32
+	// NumLabels[c] is the number of distinct values in column c.
+	NumLabels []int
+	// Partitions[c] is the stripped partition of column c.
+	Partitions []StrippedPartition
+}
+
+// StrippedPartition is a partition with singleton equivalence classes
+// removed (Definition 7). Each cluster lists row indices sharing a value.
+type StrippedPartition struct {
+	Clusters [][]int32
+}
+
+// NumClusters returns the number of (non-singleton) clusters.
+func (p StrippedPartition) NumClusters() int { return len(p.Clusters) }
+
+// Sum returns the total number of rows covered by clusters.
+func (p StrippedPartition) Sum() int {
+	n := 0
+	for _, c := range p.Clusters {
+		n += len(c)
+	}
+	return n
+}
+
+// Error returns e(π) = ||π|| − |π|, the TANE partition error: the number of
+// rows that would need to be removed to make every covered value unique.
+func (p StrippedPartition) Error() int { return p.Sum() - p.NumClusters() }
+
+// Encode label-encodes a relation. Empty strings (nulls) are treated as a
+// single shared value, i.e. NULL = NULL.
+func Encode(r *dataset.Relation) *Encoded {
+	nRows, nCols := r.NumRows(), r.NumCols()
+	e := &Encoded{
+		Name:      r.Name,
+		Attrs:     r.Attrs,
+		NumRows:   nRows,
+		Labels:    make([][]int32, nRows),
+		NumLabels: make([]int, nCols),
+	}
+	flat := make([]int32, nRows*nCols)
+	for i := range e.Labels {
+		e.Labels[i], flat = flat[:nCols], flat[nCols:]
+	}
+	for c := 0; c < nCols; c++ {
+		dict := make(map[string]int32)
+		for i := 0; i < nRows; i++ {
+			v := r.Rows[i][c]
+			label, ok := dict[v]
+			if !ok {
+				label = int32(len(dict))
+				dict[v] = label
+			}
+			e.Labels[i][c] = label
+		}
+		e.NumLabels[c] = len(dict)
+	}
+	e.Partitions = make([]StrippedPartition, nCols)
+	for c := 0; c < nCols; c++ {
+		e.Partitions[c] = e.columnPartition(c)
+	}
+	return e
+}
+
+// columnPartition builds the stripped partition of column c from labels.
+func (e *Encoded) columnPartition(c int) StrippedPartition {
+	groups := make([][]int32, e.NumLabels[c])
+	for i := 0; i < e.NumRows; i++ {
+		l := e.Labels[i][c]
+		groups[l] = append(groups[l], int32(i))
+	}
+	clusters := groups[:0]
+	for _, g := range groups {
+		if len(g) > 1 {
+			clusters = append(clusters, g)
+		}
+	}
+	// Clone the retained slice header region to keep capacity tight.
+	out := make([][]int32, len(clusters))
+	copy(out, clusters)
+	return StrippedPartition{Clusters: out}
+}
+
+// AgreeSet returns the set of attributes on which rows i and j share values,
+// i.e. the LHS of every non-FD the pair witnesses (Section IV-C).
+func (e *Encoded) AgreeSet(i, j int) fdset.AttrSet {
+	var agree fdset.AttrSet
+	ri, rj := e.Labels[i], e.Labels[j]
+	for c := range ri {
+		if ri[c] == rj[c] {
+			agree.Add(c)
+		}
+	}
+	return agree
+}
+
+// AgreeDisagree returns both the agree set and the disagree set of a row
+// pair in one scan.
+func (e *Encoded) AgreeDisagree(i, j int) (agree, disagree fdset.AttrSet) {
+	ri, rj := e.Labels[i], e.Labels[j]
+	for c := range ri {
+		if ri[c] == rj[c] {
+			agree.Add(c)
+		} else {
+			disagree.Add(c)
+		}
+	}
+	return agree, disagree
+}
+
+// Cluster is one equivalence class of a single-attribute stripped
+// partition, tagged with its attribute; the unit of work of EulerFD's
+// sampling module.
+type Cluster struct {
+	Attr int
+	Rows []int32
+}
+
+// AllClusters returns every cluster of every attribute's stripped
+// partition, the initial population of the sampling MLFQ.
+func (e *Encoded) AllClusters() []Cluster {
+	var out []Cluster
+	for c := range e.Partitions {
+		for _, rows := range e.Partitions[c].Clusters {
+			out = append(out, Cluster{Attr: c, Rows: rows})
+		}
+	}
+	return out
+}
+
+// PartitionOf computes the stripped partition of an arbitrary attribute
+// set by iterated refinement, used by validators and the TANE baseline.
+// The empty set yields one cluster with all rows (or none if NumRows < 2).
+func (e *Encoded) PartitionOf(x fdset.AttrSet) StrippedPartition {
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		if e.NumRows < 2 {
+			return StrippedPartition{}
+		}
+		all := make([]int32, e.NumRows)
+		for i := range all {
+			all[i] = int32(i)
+		}
+		return StrippedPartition{Clusters: [][]int32{all}}
+	}
+	p := e.Partitions[attrs[0]]
+	for _, a := range attrs[1:] {
+		p = e.Refine(p, a)
+		if len(p.Clusters) == 0 {
+			break
+		}
+	}
+	return p
+}
+
+// Refine splits every cluster of p by the labels of attribute a, dropping
+// resulting singletons. This is the partition product π_p · π_a specialised
+// to a single-attribute refiner.
+func (e *Encoded) Refine(p StrippedPartition, a int) StrippedPartition {
+	var out [][]int32
+	groups := make(map[int32][]int32)
+	for _, cluster := range p.Clusters {
+		for _, r := range cluster {
+			l := e.Labels[r][a]
+			groups[l] = append(groups[l], r)
+		}
+		for l, g := range groups {
+			if len(g) > 1 {
+				out = append(out, g)
+			}
+			delete(groups, l)
+		}
+	}
+	return StrippedPartition{Clusters: out}
+}
+
+// Product computes the stripped-partition product p · q using the standard
+// TANE probe-table algorithm: rows belong to the same product cluster iff
+// they share a cluster in both p and q.
+func Product(p, q StrippedPartition, numRows int) StrippedPartition {
+	// probe[r] = cluster id of r in q, or -1 when r is a singleton there.
+	probe := make([]int32, numRows)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for id, cluster := range q.Clusters {
+		for _, r := range cluster {
+			probe[r] = int32(id)
+		}
+	}
+	var out [][]int32
+	groups := make(map[int32][]int32)
+	for _, cluster := range p.Clusters {
+		for _, r := range cluster {
+			id := probe[r]
+			if id < 0 {
+				continue
+			}
+			groups[id] = append(groups[id], r)
+		}
+		for id, g := range groups {
+			if len(g) > 1 {
+				out = append(out, g)
+			}
+			delete(groups, id)
+		}
+	}
+	return StrippedPartition{Clusters: out}
+}
+
+// Holds reports whether the FD x → a is valid on the encoded relation,
+// by checking that refining π_x with a splits nothing: every x-cluster is
+// constant on a.
+func (e *Encoded) Holds(x fdset.AttrSet, a int) bool {
+	p := e.PartitionOf(x)
+	for _, cluster := range p.Clusters {
+		first := e.Labels[cluster[0]][a]
+		for _, r := range cluster[1:] {
+			if e.Labels[r][a] != first {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Violation returns a witnessing row pair for a violated FD x → a, or ok =
+// false when the FD holds. Used by validation-driven algorithms (HyFD) to
+// feed violations back into the negative cover.
+func (e *Encoded) Violation(x fdset.AttrSet, a int) (i, j int, ok bool) {
+	p := e.PartitionOf(x)
+	for _, cluster := range p.Clusters {
+		firstRow := cluster[0]
+		first := e.Labels[firstRow][a]
+		for _, r := range cluster[1:] {
+			if e.Labels[r][a] != first {
+				return int(firstRow), int(r), true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,116 @@
+package tane
+
+import (
+	"time"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// G3 computes the g₃ error of X → A: the minimum fraction of tuples that
+// must be removed for the dependency to hold exactly (Huhtala et al.,
+// Section 2.3). Each X-cluster keeps its plurality A-value; everything
+// else is error.
+func G3(enc *preprocess.Encoded, x fdset.AttrSet, a int) float64 {
+	if enc.NumRows == 0 {
+		return 0
+	}
+	part := enc.PartitionOf(x)
+	// Rows in singleton X-clusters never violate anything.
+	violating := 0
+	counts := make(map[int32]int)
+	for _, cluster := range part.Clusters {
+		for _, r := range cluster {
+			counts[enc.Labels[r][a]]++
+		}
+		best := 0
+		for l, c := range counts {
+			if c > best {
+				best = c
+			}
+			delete(counts, l)
+		}
+		violating += len(cluster) - best
+	}
+	return float64(violating) / float64(enc.NumRows)
+}
+
+// DiscoverApprox finds the minimal non-trivial dependencies X → A with
+// g₃(X → A) ≤ maxErr, by the same level-wise traversal as DiscoverEncoded
+// but with the error-tolerant validity test of the original TANE. With
+// maxErr = 0 it returns exactly the classical FDs.
+//
+// The C⁺ pruning of the exact algorithm is not sound under g₃ (approximate
+// dependencies do not compose transitively), so this traversal prunes only
+// by minimality: supersets of an emitted LHS are skipped per RHS.
+func DiscoverApprox(enc *preprocess.Encoded, maxErr float64) (*fdset.Set, Stats) {
+	start := time.Now()
+	m := len(enc.Attrs)
+	stats := Stats{Rows: enc.NumRows, Cols: m}
+	out := fdset.NewSet()
+	if m == 0 {
+		stats.Total = time.Since(start)
+		return out, stats
+	}
+
+	// found[rhs] lists emitted minimal LHSs, to prune supersets.
+	found := make([][]fdset.AttrSet, m)
+	emit := func(lhs fdset.AttrSet, rhs int) {
+		found[rhs] = append(found[rhs], lhs)
+		out.Add(fdset.FD{LHS: lhs, RHS: rhs})
+	}
+	pruned := func(lhs fdset.AttrSet, rhs int) bool {
+		for _, f := range found[rhs] {
+			if f.IsSubsetOf(lhs) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Level 0: ∅ → A.
+	for a := 0; a < m; a++ {
+		if G3(enc, fdset.EmptySet(), a) <= maxErr {
+			emit(fdset.EmptySet(), a)
+		}
+	}
+
+	level := []fdset.AttrSet{fdset.EmptySet()}
+	for size := 1; size <= m-1 && len(level) > 0; size++ {
+		stats.Levels = size
+		next := make(map[fdset.AttrSet]struct{})
+		for _, x := range level {
+			start := 0
+			if last := lastAttr(x); last >= 0 {
+				start = last + 1
+			}
+			for a := start; a < m; a++ {
+				next[x.With(a)] = struct{}{}
+			}
+		}
+		var keep []fdset.AttrSet
+		for lhs := range next {
+			stats.NodesVisited++
+			// A node is worth exploring if some RHS is still open.
+			useful := false
+			for rhs := 0; rhs < m; rhs++ {
+				if lhs.Has(rhs) || pruned(lhs, rhs) {
+					continue
+				}
+				if G3(enc, lhs, rhs) <= maxErr {
+					emit(lhs, rhs)
+				} else {
+					useful = true
+				}
+			}
+			if useful {
+				keep = append(keep, lhs)
+			}
+		}
+		level = keep
+	}
+
+	stats.PcoverSize = out.Len()
+	stats.Total = time.Since(start)
+	return out, stats
+}

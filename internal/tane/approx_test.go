@@ -1,0 +1,150 @@
+package tane
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/naive"
+	"eulerfd/internal/preprocess"
+)
+
+// bruteG3 recomputes g₃ by trying every assignment of a plurality value.
+func bruteG3(enc *preprocess.Encoded, x fdset.AttrSet, a int) float64 {
+	if enc.NumRows == 0 {
+		return 0
+	}
+	groups := map[string][]int{}
+	for i := 0; i < enc.NumRows; i++ {
+		key := ""
+		x.ForEach(func(c int) bool {
+			key += string(rune(enc.Labels[i][c])) + "|"
+			return true
+		})
+		groups[key] = append(groups[key], i)
+	}
+	remove := 0
+	for _, g := range groups {
+		counts := map[int32]int{}
+		best := 0
+		for _, r := range g {
+			counts[enc.Labels[r][a]]++
+			if counts[enc.Labels[r][a]] > best {
+				best = counts[enc.Labels[r][a]]
+			}
+		}
+		remove += len(g) - best
+	}
+	return float64(remove) / float64(enc.NumRows)
+}
+
+func TestG3AgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(149))
+	for iter := 0; iter < 40; iter++ {
+		rel := randomRelation(r, 2+r.Intn(30), 2+r.Intn(4), 1+r.Intn(3))
+		enc := preprocess.Encode(rel)
+		for trial := 0; trial < 6; trial++ {
+			var x fdset.AttrSet
+			for c := 0; c < rel.NumCols(); c++ {
+				if r.Intn(2) == 0 {
+					x.Add(c)
+				}
+			}
+			a := r.Intn(rel.NumCols())
+			got := G3(enc, x, a)
+			want := bruteG3(enc, x, a)
+			if math.Abs(got-want) > 1e-12 {
+				t.Fatalf("G3(%v->%d) = %v, want %v", x, a, got, want)
+			}
+		}
+	}
+}
+
+func TestG3ZeroIffHolds(t *testing.T) {
+	enc := preprocess.Encode(patient())
+	for a := 0; a < 5; a++ {
+		for b := 0; b < 5; b++ {
+			if a == b {
+				continue
+			}
+			x := fdset.NewAttrSet(a)
+			holds := enc.Holds(x, b)
+			if (G3(enc, x, b) == 0) != holds {
+				t.Errorf("G3({%d}->%d) zero-ness disagrees with validity", a, b)
+			}
+		}
+	}
+}
+
+func TestDiscoverApproxZeroErrorIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	for iter := 0; iter < 30; iter++ {
+		rel := randomRelation(r, 2+r.Intn(25), 2+r.Intn(4), 1+r.Intn(3))
+		enc := preprocess.Encode(rel)
+		got, _ := DiscoverApprox(enc, 0)
+		want := naive.Discover(rel)
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: approx(0) diverges from exact\ngot %v\nwant %v", iter, got.Slice(), want.Slice())
+		}
+	}
+}
+
+func TestDiscoverApproxTolerant(t *testing.T) {
+	// A → B holds except for one dirty row out of 100: g₃ = 1/100.
+	rows := make([][]string, 100)
+	for i := range rows {
+		a := i % 10
+		rows[i] = []string{string(rune('a' + a)), string(rune('A' + a))}
+	}
+	rows[0][1] = "Z" // dirt: a0 maps to both Z and A
+	rel := dataset.MustNew("dirty", []string{"A", "B"}, rows)
+	enc := preprocess.Encode(rel)
+
+	strict, _ := DiscoverApprox(enc, 0)
+	if strict.Contains(fdset.NewFD([]int{0}, 1)) {
+		t.Fatal("dirty FD should not hold exactly")
+	}
+	tolerant, _ := DiscoverApprox(enc, 0.02)
+	if !tolerant.Contains(fdset.NewFD([]int{0}, 1)) {
+		t.Fatalf("A -> B should pass at 2%% tolerance: %v", tolerant.Slice())
+	}
+	// Output stays minimal: no superset of an emitted LHS appears.
+	for _, f := range tolerant.Slice() {
+		for _, g := range tolerant.Slice() {
+			if f != g && f.RHS == g.RHS && f.LHS.IsProperSubsetOf(g.LHS) {
+				t.Errorf("non-minimal output: %v ⊂ %v", f, g)
+			}
+		}
+	}
+}
+
+func TestDiscoverApproxMonotoneInError(t *testing.T) {
+	// Every dependency accepted at a threshold is accepted at a larger
+	// one — by a generalization if not verbatim.
+	r := rand.New(rand.NewSource(157))
+	rel := randomRelation(r, 40, 4, 3)
+	enc := preprocess.Encode(rel)
+	lo, _ := DiscoverApprox(enc, 0.05)
+	hi, _ := DiscoverApprox(enc, 0.2)
+	lo.ForEach(func(f fdset.FD) {
+		ok := false
+		hi.ForEach(func(g fdset.FD) {
+			if g.Generalizes(f) {
+				ok = true
+			}
+		})
+		if !ok {
+			t.Errorf("FD %v accepted at 0.05 but not generalized at 0.2", f)
+		}
+	})
+}
+
+func TestDiscoverApproxDegenerate(t *testing.T) {
+	enc := preprocess.Encode(dataset.MustNew("none", nil, nil))
+	got, _ := DiscoverApprox(enc, 0.1)
+	if got.Len() != 0 {
+		t.Errorf("no-column result: %v", got.Slice())
+	}
+}

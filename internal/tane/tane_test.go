@@ -1,0 +1,132 @@
+package tane
+
+import (
+	"math/rand"
+	"testing"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/naive"
+)
+
+func patient() *dataset.Relation {
+	return dataset.MustNew("patient",
+		[]string{"Name", "Age", "BloodPressure", "Gender", "Medicine"},
+		[][]string{
+			{"Kelly", "60", "High", "Female", "drugA"},
+			{"Jack", "32", "Low", "Male", "drugC"},
+			{"Nancy", "28", "Normal", "Female", "drugX"},
+			{"Lily", "49", "Low", "Female", "drugY"},
+			{"Ophelia", "32", "Normal", "Female", "drugX"},
+			{"Anna", "49", "Normal", "Female", "drugX"},
+			{"Esther", "32", "Low", "Female", "drugC"},
+			{"Richard", "41", "Normal", "Male", "drugY"},
+			{"Taylor", "25", "Low", "Gender-queer", "drugC"},
+		})
+}
+
+func randomRelation(r *rand.Rand, rows, cols, domain int) *dataset.Relation {
+	attrs := make([]string, cols)
+	for i := range attrs {
+		attrs[i] = string(rune('A' + i))
+	}
+	data := make([][]string, rows)
+	for i := range data {
+		row := make([]string, cols)
+		for j := range row {
+			row[j] = string(rune('a' + r.Intn(domain)))
+		}
+		data[i] = row
+	}
+	return dataset.MustNew("rand", attrs, data)
+}
+
+func TestTanePatientExact(t *testing.T) {
+	got, stats, err := Discover(patient())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.Discover(patient())
+	if !got.Equal(want) {
+		t.Fatalf("got %v\nwant %v", got.Slice(), want.Slice())
+	}
+	if stats.Levels == 0 || stats.NodesVisited == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+}
+
+func TestTaneMatchesOracleProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for iter := 0; iter < 80; iter++ {
+		rel := randomRelation(r, 2+r.Intn(30), 2+r.Intn(6), 1+r.Intn(4))
+		got, _, err := Discover(rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.Discover(rel)
+		if !got.Equal(want) {
+			t.Fatalf("iter %d rows=%v:\ngot %v\nwant %v", iter, rel.Rows, got.Slice(), want.Slice())
+		}
+	}
+}
+
+func TestTaneKeyHeavyRelation(t *testing.T) {
+	// Every column is a key: key pruning must fire and the result must
+	// still be the exact {A}→B for every ordered pair.
+	rows := [][]string{{"1", "a", "x"}, {"2", "b", "y"}, {"3", "c", "z"}}
+	rel := dataset.MustNew("keys", []string{"A", "B", "C"}, rows)
+	got, _, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.Discover(rel)
+	if !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Slice(), want.Slice())
+	}
+	if got.Len() != 6 {
+		t.Errorf("expected 6 single-attribute FDs, got %d", got.Len())
+	}
+}
+
+func TestTaneConstantColumn(t *testing.T) {
+	rel := dataset.MustNew("c", []string{"A", "B"}, [][]string{{"k", "1"}, {"k", "2"}, {"k", "2"}})
+	got, _, err := Discover(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contains(fdset.FD{LHS: fdset.EmptySet(), RHS: 0}) {
+		t.Errorf("missing ∅ → A for constant column: %v", got.Slice())
+	}
+	if !got.Equal(naive.Discover(rel)) {
+		t.Errorf("mismatch on constant-column relation")
+	}
+}
+
+func TestTaneDegenerates(t *testing.T) {
+	for _, rel := range []*dataset.Relation{
+		dataset.MustNew("none", nil, nil),
+		dataset.MustNew("empty", []string{"A", "B"}, nil),
+		dataset.MustNew("one", []string{"A"}, [][]string{{"x"}}),
+	} {
+		got, _, err := Discover(rel)
+		if err != nil {
+			t.Fatalf("%s: %v", rel.Name, err)
+		}
+		if rel.NumCols() == 0 {
+			if got.Len() != 0 {
+				t.Errorf("%s: %v", rel.Name, got.Slice())
+			}
+			continue
+		}
+		if !got.Equal(naive.Discover(rel)) {
+			t.Errorf("%s mismatch", rel.Name)
+		}
+	}
+}
+
+func TestTaneRejectsMalformed(t *testing.T) {
+	bad := &dataset.Relation{Attrs: []string{"A"}, Rows: [][]string{{"1", "2"}}}
+	if _, _, err := Discover(bad); err == nil {
+		t.Error("malformed relation accepted")
+	}
+}
