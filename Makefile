@@ -1,0 +1,30 @@
+# Developer entry points. `make check` is the PR gate: it builds, vets,
+# and runs the full suite under the race detector so every concurrent
+# path (parallel sampling, sharded covers, worker pool) is exercised.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-sampling
+
+check: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short-mode benchmark smoke: compiles and runs every benchmark once so
+# bit-rot in the bench harness is caught without paying full bench time.
+bench-smoke:
+	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./...
+
+# Regenerates the committed machine-readable sampling benchmark.
+bench-sampling:
+	$(GO) run ./cmd/fdbench -json BENCH_sampling.json

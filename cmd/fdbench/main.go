@@ -7,6 +7,8 @@
 //	fdbench -exp table3        # one experiment
 //	fdbench -exp all           # everything, in paper order
 //	fdbench -exp fig6 -budget 30s
+//	fdbench -exp sampling -workers 8        # parallel sampling engine bench
+//	fdbench -json BENCH_sampling.json       # same, plus machine-readable report
 package main
 
 import (
@@ -27,8 +29,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fdbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiment ids and exit")
-	exp := fs.String("exp", "", "experiment id (table3, fig6..fig11, table5, all)")
+	exp := fs.String("exp", "", "experiment id (table3, fig6..fig11, table5, sampling, all)")
 	budget := fs.Duration("budget", 2*time.Minute, "per-cell time budget (0 = unlimited)")
+	workers := fs.Int("workers", 0, "EulerFD worker-pool size (0 = all CPU cores, 1 = sequential)")
+	jsonPath := fs.String("json", "", "run the sampling benchmark and write its report to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,13 +43,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" {
+	if *exp == "" && *jsonPath == "" {
 		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
 		return 2
 	}
 
 	runner := bench.NewRunner()
 	runner.Budget = *budget
+	runner.EulerOptions.Workers = *workers
+
+	if *jsonPath != "" {
+		// Create the output file before the (multi-minute) benchmark so a
+		// bad path fails fast instead of discarding the run.
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return 1
+		}
+		defer f.Close()
+		report := bench.RunSampling(stdout, runner, *workers)
+		if err := bench.WriteSamplingJSON(f, report); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+		if *exp == "" {
+			return 0
+		}
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {

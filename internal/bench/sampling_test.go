@@ -1,0 +1,46 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSamplingSmoke(t *testing.T) {
+	saved := SamplingDatasets
+	SamplingDatasets = []string{"abalone"} // one small dataset keeps the smoke fast
+	defer func() { SamplingDatasets = saved }()
+
+	var buf bytes.Buffer
+	report := RunSampling(&buf, NewRunner(), 2)
+	if len(report.Cells) != 2 {
+		t.Fatalf("want 2 cells (workers 1 and 2), got %d", len(report.Cells))
+	}
+	seq, par := report.Cells[0], report.Cells[1]
+	if seq.Workers != 1 || par.Workers != 2 {
+		t.Errorf("cell workers = %d,%d want 1,2", seq.Workers, par.Workers)
+	}
+	if !par.MatchesSequential {
+		t.Error("parallel output is not byte-identical to sequential")
+	}
+	if seq.AgreeSets != par.AgreeSets || seq.PairsCompared != par.PairsCompared {
+		t.Errorf("stats differ between worker counts: agreeSets %d/%d pairs %d/%d",
+			seq.AgreeSets, par.AgreeSets, seq.PairsCompared, par.PairsCompared)
+	}
+	if !strings.Contains(buf.String(), "abalone") {
+		t.Error("table output missing dataset row")
+	}
+
+	var out bytes.Buffer
+	if err := WriteSamplingJSON(&out, report); err != nil {
+		t.Fatal(err)
+	}
+	var decoded SamplingReport
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.NumCPU != report.NumCPU || len(decoded.Cells) != 2 {
+		t.Error("JSON round trip lost fields")
+	}
+}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"eulerfd/internal/cover"
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
 )
 
@@ -39,9 +41,13 @@ type Options struct {
 	// the ∅-seed this makes the result exact at the cost of comparing
 	// every intra-cluster pair; used for verification and ablations.
 	ExhaustWindows bool
-	// Workers shards inversion across goroutines by RHS attribute; values
-	// ≤ 1 keep the paper's sequential execution. The result is identical
-	// either way — per-RHS covers are independent.
+	// Workers is the degree of parallelism of the engine: one persistent
+	// worker pool runs sampling-pass chunks, negative-cover admission
+	// shards, and inversion shards. 0 (the default) means
+	// runtime.NumCPU(); Workers = 1 forces the paper's sequential
+	// execution. The result is identical for every value — sampling
+	// chunks merge in sweep order and per-RHS covers are independent —
+	// so parallelism is purely a wall-clock knob.
 	Workers int
 	// DynamicCapaRanges enables runtime revision of the MLFQ capa ranges
 	// — the extension the paper's conclusion proposes as future work.
@@ -73,6 +79,9 @@ func (o Options) withDefaults(numRows int) Options {
 	if o.BatchPairs < 1 {
 		o.BatchPairs = 1 << 30
 	}
+	if o.Workers < 1 {
+		o.Workers = runtime.NumCPU()
+	}
 	_ = numRows
 	return o
 }
@@ -102,8 +111,13 @@ func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	}
 	start := time.Now()
 	enc := preprocess.Encode(rel)
+	// Measured directly around Encode: deriving it by subtracting stage
+	// times from the total both mislabeled double-cycle overhead as
+	// preprocessing and could go negative across monotonic-clock
+	// adjustments.
+	pre := time.Since(start)
 	fds, stats := DiscoverEncoded(enc, opt)
-	stats.Preprocess = time.Since(start) - stats.Sampling - stats.NcoverBuild - stats.Inversion
+	stats.Preprocess = pre
 	stats.Total = time.Since(start)
 	return fds, stats, nil
 }
@@ -112,6 +126,7 @@ func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 // entry point used by the benchmark harness, which pre-encodes datasets so
 // that per-algorithm timings exclude shared preprocessing.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	encStart := time.Now()
 	opt = opt.withDefaults(enc.NumRows)
 	ncols := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: ncols}
@@ -119,9 +134,17 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 		return fdset.NewSet(), stats
 	}
 
+	// One persistent pool serves every parallel stage of the run: sampling
+	// chunks, negative-cover admission shards, and inversion shards. With
+	// Workers = 1 the pool is nil and every stage runs the exact
+	// sequential path.
+	pl := pool.New(opt.Workers)
+	defer pl.Close()
+
 	sampler := NewSampler(enc, opt.NumQueues, opt.RecentPasses)
 	sampler.exhaustive = opt.ExhaustWindows
 	sampler.dynamicRanges = opt.DynamicCapaRanges
+	sampler.SetPool(pl)
 
 	// Seed the negative cover with ∅ ↛ A for every non-constant attribute.
 	// Cluster-based sampling can only pair rows that agree somewhere, so
@@ -159,13 +182,14 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	ncover := cover.NewNCover(ncols, rank)
 	pcover := cover.NewPCover(ncols, rank)
 
-	runDoubleCycle(opt, sampler, ncover, pcover, seed, first, ncols, drain, &stats)
+	runDoubleCycle(opt, sampler, ncover, pcover, seed, first, ncols, drain, pl, &stats)
 
 	stats.PairsCompared = sampler.PairsCompared
 	stats.AgreeSets = len(sampler.seen)
 	stats.NcoverSize = ncover.Size()
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
+	stats.Total = time.Since(encStart)
 	return out, stats
 }
 
@@ -176,7 +200,7 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 // drain runs the sampler to queue exhaustion and reports new agree sets.
 // Both one-shot discovery and incremental appends drive this function.
 func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover *cover.PCover,
-	seed, first []fdset.FD, ncols int, drain func() []fdset.AttrSet, stats *Stats) {
+	seed, first []fdset.FD, ncols int, drain func() []fdset.AttrSet, pl *pool.Pool, stats *Stats) {
 	// pending holds non-FDs admitted to the Ncover but not yet inverted.
 	// Entries superseded by a later specialization before their inversion
 	// are dropped: inverting them would only spawn candidates that the
@@ -184,16 +208,12 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 	pending := make(map[fdset.FD]struct{})
 	addBatch := func(batch []fdset.FD) (added int) {
 		t := time.Now()
-		for _, f := range batch {
-			ok, superseded := ncover.AddTracked(f)
-			if !ok {
-				continue
+		added, events := ncover.AddTrackedBatch(batch, pl)
+		for _, ev := range events {
+			for _, lhs := range ev.Superseded {
+				delete(pending, fdset.FD{LHS: lhs, RHS: ev.NonFD.RHS})
 			}
-			for _, lhs := range superseded {
-				delete(pending, fdset.FD{LHS: lhs, RHS: f.RHS})
-			}
-			pending[f] = struct{}{}
-			added++
+			pending[ev.NonFD] = struct{}{}
 		}
 		stats.NcoverBuild += time.Since(t)
 		return added
@@ -222,7 +242,7 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 			batch = append(batch, f)
 		}
 		fdset.SortFDs(batch)
-		addedP := pcover.InvertAllParallel(batch, opt.Workers)
+		addedP := pcover.InvertAllPool(batch, pl)
 		stats.Inversion += time.Since(t)
 		stats.Inversions++
 		clear(pending)

@@ -6,6 +6,7 @@ import (
 
 	"eulerfd/internal/cover"
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
 )
 
@@ -69,9 +70,16 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 		return stats, nil
 	}
 
+	// The pool lives for one Append: each batch is its own discovery run
+	// over the grown relation, so pool lifetime matches run lifetime just
+	// as in DiscoverEncoded.
+	pl := pool.New(inc.opt.Workers)
+	defer pl.Close()
+
 	sampler := NewSampler(enc, inc.opt.NumQueues, inc.opt.RecentPasses)
 	sampler.exhaustive = inc.opt.ExhaustWindows
 	sampler.dynamicRanges = inc.opt.DynamicCapaRanges
+	sampler.SetPool(pl)
 
 	// ∅ seeding: a column can become non-constant in any batch.
 	var seed []fdset.FD
@@ -97,7 +105,7 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 	}
 
 	first := nonFDsOf(drain(), inc.ncols)
-	runDoubleCycle(inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, &stats)
+	runDoubleCycle(inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, pl, &stats)
 
 	stats.PairsCompared = sampler.PairsCompared
 	stats.AgreeSets = len(sampler.seen)

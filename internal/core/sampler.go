@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
 )
 
@@ -80,9 +81,10 @@ func (c *clusterState) lastCapa() float64 {
 // MLFQ is the multilevel feedback queue over clusters. Queue 0 has the
 // highest priority; thresholds follow Table IV of the paper: the highest
 // queue holds capa ∈ [10, ∞) and each following queue divides the bound by
-// ten, with the last queue absorbing [0, bound).
+// ten, with the last queue absorbing [0, bound). Each level is a ring
+// deque so Pop and PushFront are O(1) and popped heads are not retained.
 type MLFQ struct {
-	queues     [][]*clusterState
+	queues     []deque
 	thresholds []float64 // len = numQueues-1, descending
 	count      int
 }
@@ -96,7 +98,7 @@ func NewMLFQ(numQueues int) *MLFQ {
 	for k := range th {
 		th[k] = math.Pow(10, float64(1-k)) // 10, 1, 0.1, ... (Table IV)
 	}
-	return &MLFQ{queues: make([][]*clusterState, numQueues), thresholds: th}
+	return &MLFQ{queues: make([]deque, numQueues), thresholds: th}
 }
 
 // Retune replaces the queue thresholds with a geometric ladder anchored at
@@ -125,25 +127,21 @@ func (q *MLFQ) queueFor(capa float64) int {
 
 // Push enqueues the cluster at the tail of the queue matching capa.
 func (q *MLFQ) Push(c *clusterState, capa float64) {
-	k := q.queueFor(capa)
-	q.queues[k] = append(q.queues[k], c)
+	q.queues[q.queueFor(capa)].pushBack(c)
 	q.count++
 }
 
 // PushFront re-enqueues a cluster at the head of the queue matching capa,
 // used to resume a pass interrupted by the batch pair quota.
 func (q *MLFQ) PushFront(c *clusterState, capa float64) {
-	k := q.queueFor(capa)
-	q.queues[k] = append([]*clusterState{c}, q.queues[k]...)
+	q.queues[q.queueFor(capa)].pushFront(c)
 	q.count++
 }
 
 // Pop dequeues the head of the highest-priority non-empty queue.
 func (q *MLFQ) Pop() (*clusterState, bool) {
 	for k := range q.queues {
-		if len(q.queues[k]) > 0 {
-			c := q.queues[k][0]
-			q.queues[k] = q.queues[k][1:]
+		if c, ok := q.queues[k].popFront(); ok {
 			q.count--
 			return c, true
 		}
@@ -181,10 +179,38 @@ type Sampler struct {
 	dynamicRanges bool
 	maxRecentCapa float64
 
+	// pool, when non-nil, parallelizes large window sweeps: the pair range
+	// of a pass is cut into chunks dispatched to the persistent workers,
+	// which fill per-chunk scratch buffers; the coordinator then merges the
+	// chunks sequentially into seen, so dedup, capa accounting, and requeue
+	// decisions are bit-identical to the sequential path.
+	pool   *pool.Pool
+	chunks []passChunk // per-chunk scratch, reused across passes
+
 	// Stats
 	PairsCompared int
 	Passes        int
 }
+
+// passChunk is the scratch state of one parallel chunk of a window sweep.
+// Each concurrent chunk owns exactly one passChunk, so workers never share
+// mutable state; buffers are reused across passes to keep allocation off
+// the hot path.
+type passChunk struct {
+	from, to int // window positions [from, to) of this chunk
+	sets     []fdset.AttrSet
+	counts   []int32
+	uniq     []int32 // indices into sets of first-in-chunk occurrences
+	local    map[fdset.AttrSet]struct{}
+}
+
+// Chunking constants of the parallel pass: sweeps shorter than
+// parallelMinPairs stay inline (dispatch overhead would dominate), and no
+// chunk is cut below parallelChunkPairs.
+const (
+	parallelMinPairs   = 2048
+	parallelChunkPairs = 1024
+)
 
 // NewSampler prepares sampling state over an encoded relation. numQueues
 // is the MLFQ depth (paper default 6); recentLen is how many recent pass
@@ -205,6 +231,10 @@ func NewSampler(enc *preprocess.Encoded, numQueues, recentLen int) *Sampler {
 	}
 	return s
 }
+
+// SetPool attaches a worker pool for parallel pass execution. A nil pool
+// (or never calling SetPool) keeps the exact sequential path.
+func (s *Sampler) SetPool(p *pool.Pool) { s.pool = p }
 
 // Exhausted reports whether no further pairs can ever be produced: the
 // MLFQ is empty and every cluster has used all window sizes.
@@ -296,21 +326,23 @@ func (s *Sampler) Batch(quotaPairs int) []fdset.AttrSet {
 // comparisons (unbounded when maxPairs < 0). When the window completes its
 // sweep the pass ends: capa is recorded and the window widens by one; an
 // interrupted pass leaves c.pos > 0 so the caller resumes it later. It
-// returns the number of pairs compared.
+// returns the number of pairs compared. Large sweeps are dispatched to the
+// worker pool when one is attached; the result is identical either way.
 func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrSet) int {
 	if c.exhausted() {
 		return 0
 	}
-	pairs := 0
 	last := len(c.rows) - c.window // final window start of this pass
-	for c.pos <= last {
-		if maxPairs >= 0 && pairs >= maxPairs {
-			s.PairsCompared += pairs
-			return pairs
-		}
+	n := last - c.pos + 1          // pairs remaining in this pass
+	if maxPairs >= 0 && n > maxPairs {
+		n = maxPairs
+	}
+	if s.pool != nil && n >= parallelMinPairs {
+		return s.samplePassParallel(c, n, last, found)
+	}
+	for k := 0; k < n; k++ {
 		i, j := c.rows[c.pos], c.rows[c.pos+c.window-1]
 		agree := s.enc.AgreeSet(int(i), int(j))
-		pairs++
 		c.passPairs++
 		if _, dup := s.seen[agree]; !dup {
 			s.seen[agree] = struct{}{}
@@ -320,7 +352,91 @@ func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrS
 		}
 		c.pos++
 	}
-	// Pass complete: record capa, widen the window.
+	s.PairsCompared += n
+	if c.pos <= last {
+		return n // interrupted by the quota; the caller resumes later
+	}
+	s.finishPass(c)
+	return n
+}
+
+// samplePassParallel runs n pairs of the sweep through the worker pool:
+// the position range is cut into chunks, each worker computes its chunk's
+// agree sets with the batched kernel into private buffers and dedups them
+// against a chunk-local set, and the coordinator merges chunks in position
+// order against the global seen map. Because merge order equals sweep
+// order and chunk-local dedup only elides pairs the sequential path would
+// also have classified as duplicates, found order, capa accounting, and
+// all statistics are bit-identical to the sequential path.
+func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdset.AttrSet) int {
+	chunk := (n + s.pool.Workers() - 1) / s.pool.Workers()
+	if chunk < parallelChunkPairs {
+		chunk = parallelChunkPairs
+	}
+	numChunks := (n + chunk - 1) / chunk
+	for len(s.chunks) < numChunks {
+		s.chunks = append(s.chunks, passChunk{})
+	}
+	for k := 0; k < numChunks; k++ {
+		from := c.pos + k*chunk
+		to := from + chunk
+		if to > c.pos+n {
+			to = c.pos + n
+		}
+		s.chunks[k].from, s.chunks[k].to = from, to
+	}
+	s.pool.Do(numChunks, func(k int) {
+		ch := &s.chunks[k]
+		m := ch.to - ch.from
+		if cap(ch.sets) < m {
+			ch.sets = make([]fdset.AttrSet, m)
+			ch.counts = make([]int32, m)
+		}
+		ch.sets, ch.counts = ch.sets[:m], ch.counts[:m]
+		s.enc.AgreeWindowInto(c.rows, c.window, ch.from, ch.to, ch.sets, ch.counts)
+		if ch.local == nil {
+			ch.local = make(map[fdset.AttrSet]struct{}, m)
+		} else {
+			clear(ch.local)
+		}
+		ch.uniq = ch.uniq[:0]
+		for i := 0; i < m; i++ {
+			// Window sweeps over low-cardinality data produce long runs of
+			// identical agree sets; a run is one map probe, not m.
+			if i > 0 && ch.sets[i] == ch.sets[i-1] {
+				continue
+			}
+			if _, dup := ch.local[ch.sets[i]]; !dup {
+				ch.local[ch.sets[i]] = struct{}{}
+				ch.uniq = append(ch.uniq, int32(i))
+			}
+		}
+	})
+	ncols := len(s.enc.Attrs)
+	for k := 0; k < numChunks; k++ {
+		ch := &s.chunks[k]
+		for _, i := range ch.uniq {
+			set := ch.sets[i]
+			if _, dup := s.seen[set]; !dup {
+				s.seen[set] = struct{}{}
+				*found = append(*found, set)
+				c.passNew += ncols - int(ch.counts[i])
+			}
+		}
+	}
+	c.passPairs += n
+	c.pos += n
+	s.PairsCompared += n
+	if c.pos <= last {
+		return n
+	}
+	s.finishPass(c)
+	return n
+}
+
+// finishPass records the completed pass's capa and widens the window,
+// shared by the sequential and parallel paths.
+func (s *Sampler) finishPass(c *clusterState) {
 	capa := 0.0
 	if c.passPairs > 0 {
 		capa = float64(c.passNew) / float64(c.passPairs)
@@ -333,6 +449,4 @@ func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrS
 	c.passPairs, c.passNew = 0, 0
 	c.pos = 0
 	c.window++
-	s.PairsCompared += pairs
-	return pairs
 }

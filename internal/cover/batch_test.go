@@ -1,0 +1,131 @@
+package cover
+
+import (
+	"math/rand"
+	"testing"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
+)
+
+// randomNonFDs builds a reproducible batch with plenty of subset/superset
+// collisions within each RHS so supersede tracking is exercised.
+func randomNonFDs(ncols, n int, seed int64) []fdset.FD {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]fdset.FD, 0, n)
+	for i := 0; i < n; i++ {
+		rhs := r.Intn(ncols)
+		var lhs fdset.AttrSet
+		for a := 0; a < ncols; a++ {
+			if a != rhs && r.Intn(3) == 0 {
+				lhs.Add(a)
+			}
+		}
+		out = append(out, fdset.FD{LHS: lhs, RHS: rhs})
+	}
+	return out
+}
+
+func TestAddTrackedBatchMatchesSequentialAddTracked(t *testing.T) {
+	const ncols = 12
+	batch := randomNonFDs(ncols, 600, 42)
+
+	// Reference: one-by-one AddTracked in batch order.
+	ref := NewNCover(ncols, nil)
+	refAdded := 0
+	for _, f := range batch {
+		if ok, _ := ref.AddTracked(f); ok {
+			refAdded++
+		}
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		pl := pool.New(workers)
+		n := NewNCover(ncols, nil)
+		added, events := n.AddTrackedBatch(batch, pl)
+		pl.Close()
+		if added != refAdded {
+			t.Errorf("workers=%d: added = %d, want %d", workers, added, refAdded)
+		}
+		if len(events) != added {
+			t.Errorf("workers=%d: %d events for %d additions", workers, len(events), added)
+		}
+		if n.Size() != ref.Size() {
+			t.Errorf("workers=%d: size = %d, want %d", workers, n.Size(), ref.Size())
+		}
+		got, want := n.FDs(), ref.FDs()
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: cover has %d non-FDs, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: cover diverges at %d: %v vs %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestAddTrackedBatchEventsDeterministic(t *testing.T) {
+	const ncols = 10
+	batch := randomNonFDs(ncols, 400, 7)
+	run := func(workers int) (int, []AddEvent) {
+		pl := pool.New(workers)
+		defer pl.Close()
+		n := NewNCover(ncols, nil)
+		return n.AddTrackedBatch(batch, pl)
+	}
+	added1, ev1 := run(1)
+	added4, ev4 := run(4)
+	if added1 != added4 || len(ev1) != len(ev4) {
+		t.Fatalf("event counts differ: %d/%d vs %d/%d", added1, len(ev1), added4, len(ev4))
+	}
+	for i := range ev1 {
+		if ev1[i].NonFD != ev4[i].NonFD || len(ev1[i].Superseded) != len(ev4[i].Superseded) {
+			t.Fatalf("event %d differs between worker counts", i)
+		}
+		for j := range ev1[i].Superseded {
+			if ev1[i].Superseded[j] != ev4[i].Superseded[j] {
+				t.Fatalf("event %d superseded[%d] differs", i, j)
+			}
+		}
+	}
+}
+
+func TestAddTrackedBatchSupersededFeedsPending(t *testing.T) {
+	// A generalization admitted first must appear as superseded when its
+	// specialization lands in a later batch — the contract the double
+	// cycle's pending-inversion queue relies on.
+	n := NewNCover(4, nil)
+	_, ev := n.AddTrackedBatch([]fdset.FD{{LHS: fdset.NewAttrSet(0), RHS: 3}}, nil)
+	if len(ev) != 1 || len(ev[0].Superseded) != 0 {
+		t.Fatalf("unexpected first admission: %+v", ev)
+	}
+	_, ev = n.AddTrackedBatch([]fdset.FD{{LHS: fdset.NewAttrSet(0, 1), RHS: 3}}, nil)
+	if len(ev) != 1 || len(ev[0].Superseded) != 1 || ev[0].Superseded[0] != fdset.NewAttrSet(0) {
+		t.Fatalf("specialization did not report superseded generalization: %+v", ev)
+	}
+	if n.Size() != 1 {
+		t.Errorf("size = %d, want 1", n.Size())
+	}
+}
+
+func TestInvertAllPoolMatchesSequential(t *testing.T) {
+	const ncols = 9
+	nonFDs := randomNonFDs(ncols, 300, 99)
+	fdset.SortFDs(nonFDs)
+
+	seq := NewPCover(ncols, nil)
+	seqAdded := seq.InvertAll(nonFDs)
+	for _, workers := range []int{2, 4} {
+		pl := pool.New(workers)
+		par := NewPCover(ncols, nil)
+		parAdded := par.InvertAllPool(nonFDs, pl)
+		pl.Close()
+		if parAdded != seqAdded {
+			t.Errorf("workers=%d: added = %d, want %d", workers, parAdded, seqAdded)
+		}
+		if !seq.FDs().Equal(par.FDs()) {
+			t.Errorf("workers=%d: pool inversion cover differs from sequential", workers)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 )
 
 // NCover is the negative cover: for every RHS attribute, the tree of
@@ -54,6 +55,60 @@ func (n *NCover) AddTracked(nonFD fdset.FD) (added bool, superseded []fdset.Attr
 	t.Add(nonFD.LHS)
 	n.size += 1 - len(superseded)
 	return true, superseded
+}
+
+// AddEvent records one admission performed by AddTrackedBatch: the
+// admitted non-FD and the stored LHSs (same RHS) it superseded.
+type AddEvent struct {
+	NonFD      fdset.FD
+	Superseded []fdset.AttrSet
+}
+
+// AddTrackedBatch admits a batch of non-FDs, sharded by RHS across the
+// worker pool: per-RHS trees are independent (the same property inversion
+// exploits), so each shard is processed by exactly one worker with no
+// locking. Events are reported grouped by ascending RHS and, within one
+// RHS, in batch order — exactly the per-tree effect of sequential
+// AddTracked calls — so the resulting cover, the admission count, and the
+// event set are identical for every worker count, including the nil
+// (sequential) pool.
+func (n *NCover) AddTrackedBatch(nonFDs []fdset.FD, p *pool.Pool) (added int, events []AddEvent) {
+	byRHS := make([][]fdset.FD, n.ncols)
+	for _, f := range nonFDs {
+		byRHS[f.RHS] = append(byRHS[f.RHS], f)
+	}
+	shards := byRHS[:0]
+	for _, shard := range byRHS {
+		if len(shard) > 0 {
+			shards = append(shards, shard)
+		}
+	}
+	type shardResult struct {
+		events    []AddEvent
+		added     int
+		sizeDelta int
+	}
+	results := make([]shardResult, len(shards))
+	p.Do(len(shards), func(k int) {
+		r := &results[k]
+		for _, f := range shards[k] {
+			t := n.trees[f.RHS]
+			if t.ContainsSuperset(f.LHS) {
+				continue
+			}
+			superseded := t.RemoveSubsets(f.LHS)
+			t.Add(f.LHS)
+			r.added++
+			r.sizeDelta += 1 - len(superseded)
+			r.events = append(r.events, AddEvent{NonFD: f, Superseded: superseded})
+		}
+	})
+	for _, r := range results {
+		added += r.added
+		n.size += r.sizeDelta
+		events = append(events, r.events...)
+	}
+	return added, events
 }
 
 // AddAll inserts a batch of non-FDs sorted in decreasing LHS length (the

@@ -1,10 +1,8 @@
 package cover
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 )
 
 // PCover is the positive cover: for every RHS attribute, the tree of
@@ -150,40 +148,48 @@ func (p *PCover) InvertAll(nonFDs []fdset.FD) int {
 	return added
 }
 
-// InvertAllParallel is InvertAll sharded across goroutines by RHS: every
-// per-RHS tree is touched by exactly one worker, so no locking is needed,
-// and the final cover is identical to the sequential result (the cover is
-// determined by the set of inverted non-FDs, not their order). workers ≤ 1
-// falls back to the sequential path.
+// InvertAllParallel is InvertAll sharded by RHS on a transient pool of
+// workers goroutines: every per-RHS tree is touched by exactly one worker,
+// so no locking is needed, and the final cover is identical to the
+// sequential result (the cover is determined by the set of inverted
+// non-FDs, not their order). workers ≤ 1 falls back to the sequential
+// path. Callers that already own a pool should use InvertAllPool.
 func (p *PCover) InvertAllParallel(nonFDs []fdset.FD, workers int) int {
-	if workers <= 1 {
+	pl := pool.New(workers)
+	defer pl.Close()
+	return p.InvertAllPool(nonFDs, pl)
+}
+
+// InvertAllPool is InvertAll sharded by RHS over a shared worker pool (nil
+// pool = sequential). Per-shard added counts land in a private results
+// slot, so no synchronization beyond the pool's own join is needed.
+func (p *PCover) InvertAllPool(nonFDs []fdset.FD, pl *pool.Pool) int {
+	if pl == nil {
 		return p.InvertAll(nonFDs)
 	}
 	byRHS := make([][]fdset.FD, p.ncols)
 	for _, f := range nonFDs {
 		byRHS[f.RHS] = append(byRHS[f.RHS], f)
 	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	var added atomic.Int64
-	for _, batch := range byRHS {
-		if len(batch) == 0 {
-			continue
+	shards := byRHS[:0]
+	for _, shard := range byRHS {
+		if len(shard) > 0 {
+			shards = append(shards, shard)
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(batch []fdset.FD) {
-			defer wg.Done()
-			n := 0
-			for _, f := range batch {
-				n += p.Invert(f)
-			}
-			added.Add(int64(n))
-			<-sem
-		}(batch)
 	}
-	wg.Wait()
-	return int(added.Load())
+	results := make([]int, len(shards))
+	pl.Do(len(shards), func(k int) {
+		n := 0
+		for _, f := range shards[k] {
+			n += p.Invert(f)
+		}
+		results[k] = n
+	})
+	added := 0
+	for _, n := range results {
+		added += n
+	}
+	return added
 }
 
 // FDs returns the candidate set as minimal, non-trivial FDs. Candidates

@@ -51,10 +51,18 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	// a lossless, deduplicated encoding of all witnessed non-FDs.
 	seen := make(map[fdset.AttrSet]struct{})
 	var agrees []fdset.AttrSet
+	// rest[j-i-1] = j lets the batched base-vs-others kernel compare row i
+	// against all following rows in one cache-friendly sweep.
+	rest := make([]int32, enc.NumRows)
+	for j := range rest {
+		rest[j] = int32(j)
+	}
+	buf := make([]fdset.AttrSet, enc.NumRows)
 	for i := 0; i < enc.NumRows; i++ {
-		for j := i + 1; j < enc.NumRows; j++ {
-			stats.PairsCompared++
-			a := enc.AgreeSet(i, j)
+		others := rest[i+1:]
+		enc.AgreeSetsInto(i, others, buf)
+		stats.PairsCompared += len(others)
+		for _, a := range buf[:len(others)] {
 			if _, dup := seen[a]; !dup {
 				seen[a] = struct{}{}
 				agrees = append(agrees, a)

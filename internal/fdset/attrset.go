@@ -217,6 +217,19 @@ func (s AttrSet) ForEach(fn func(a int) bool) {
 	}
 }
 
+// NumWords is the number of 64-bit words backing an AttrSet; word i holds
+// attributes [64i, 64i+64).
+const NumWords = attrWords
+
+// Word returns the i-th 64-bit word of the set. It panics when i is out of
+// range, as that is a programming error.
+func (s AttrSet) Word(i int) uint64 { return s.w[i] }
+
+// SetWord overwrites the i-th 64-bit word of the set. It exists for batch
+// kernels (preprocess.AgreeSetsInto and friends) that assemble agree sets
+// word-by-word from a columnar scan without per-bit Add calls.
+func (s *AttrSet) SetWord(i int, w uint64) { s.w[i] = w }
+
 // Hash returns a 64-bit mix of the set contents, suitable for sharding.
 func (s AttrSet) Hash() uint64 {
 	h := uint64(1469598103934665603)

@@ -1,0 +1,82 @@
+// Package pool provides the persistent worker pool shared by EulerFD's
+// parallel stages: sampling-pass chunk execution, negative-cover admission
+// sharded by RHS, and positive-cover inversion. One pool is created per
+// discovery run so goroutine churn is paid once, not per sampling pass.
+//
+// The nil *Pool is a valid pool that runs everything inline on the calling
+// goroutine; callers never need to branch on the worker count themselves.
+package pool
+
+import "sync"
+
+// Pool is a fixed set of persistent worker goroutines fed from a shared
+// task channel. It is safe for concurrent use by one coordinator at a
+// time: Do must not be called from inside a task (tasks submitting tasks
+// can starve the pool).
+type Pool struct {
+	jobs    chan func()
+	workers int
+	once    sync.Once
+}
+
+// New starts a pool of n worker goroutines. n ≤ 1 returns nil — the nil
+// pool is fully functional and sequential, so a single code path serves
+// both the parallel and the Workers=1 configuration.
+func New(n int) *Pool {
+	if n <= 1 {
+		return nil
+	}
+	p := &Pool{jobs: make(chan func()), workers: n}
+	for i := 0; i < n; i++ {
+		go p.loop()
+	}
+	return p
+}
+
+func (p *Pool) loop() {
+	for f := range p.jobs {
+		f()
+	}
+}
+
+// Workers returns the degree of parallelism: 1 for the nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Do runs fn(0), fn(1), …, fn(n-1) and returns when all calls have
+// finished. On the nil pool the calls run inline in index order; otherwise
+// they run concurrently on the workers (the coordinator executes fn(0)
+// itself rather than sitting idle). fn must confine its writes to
+// per-index state — Do imposes no ordering between concurrent calls.
+func (p *Pool) Do(n int, fn func(i int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	for i := 1; i < n; i++ {
+		i := i
+		p.jobs <- func() {
+			defer wg.Done()
+			fn(i)
+		}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Close shuts the workers down. The pool must not be used afterwards.
+// Close on the nil pool is a no-op; calling it twice is safe.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.jobs) })
+}

@@ -1,0 +1,71 @@
+package pool
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNilPoolRunsInline(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Errorf("nil pool Workers = %d, want 1", p.Workers())
+	}
+	order := []int{}
+	p.Do(4, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("nil pool order = %v, want 0..3 in order", order)
+		}
+	}
+	p.Close() // must not panic
+}
+
+func TestNewSmallReturnsNil(t *testing.T) {
+	if New(0) != nil || New(1) != nil || New(-3) != nil {
+		t.Error("New(n≤1) must return the nil (sequential) pool")
+	}
+}
+
+func TestDoCoversAllIndices(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	if p.Workers() != 4 {
+		t.Errorf("Workers = %d, want 4", p.Workers())
+	}
+	const n = 100
+	var hits [n]atomic.Int32
+	p.Do(n, func(i int) { hits[i].Add(1) })
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times, want 1", i, got)
+		}
+	}
+}
+
+func TestDoWithFewerTasksThanWorkers(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	var sum atomic.Int64
+	p.Do(3, func(i int) { sum.Add(int64(i + 1)) })
+	if sum.Load() != 6 {
+		t.Errorf("sum = %d, want 6", sum.Load())
+	}
+}
+
+func TestDoReusableAcrossCalls(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	for round := 0; round < 50; round++ {
+		var count atomic.Int32
+		p.Do(7, func(int) { count.Add(1) })
+		if count.Load() != 7 {
+			t.Fatalf("round %d: %d tasks ran, want 7", round, count.Load())
+		}
+	}
+}
+
+func TestCloseTwice(t *testing.T) {
+	p := New(2)
+	p.Close()
+	p.Close() // must not panic
+}

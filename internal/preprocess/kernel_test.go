@@ -1,0 +1,93 @@
+package preprocess
+
+import (
+	"testing"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/gen"
+)
+
+// kernelRelations covers both kernel code paths: ≤64 columns (single-word
+// fast path) and >64 columns (word-blocked wide path).
+func kernelEncodings(t *testing.T) []*Encoded {
+	t.Helper()
+	return []*Encoded{
+		Encode(gen.UCITable("narrow", 300, 9, true, 4, 11)),
+		Encode(gen.WideSparseTuned("wide", 120, 80, 0.1, 0.3, 13)),
+	}
+}
+
+func TestAgreeSetsIntoMatchesAgreeSet(t *testing.T) {
+	for _, enc := range kernelEncodings(t) {
+		others := make([]int32, enc.NumRows)
+		for j := range others {
+			others[j] = int32(j)
+		}
+		out := make([]fdset.AttrSet, enc.NumRows)
+		for i := 0; i < enc.NumRows; i += 37 {
+			enc.AgreeSetsInto(i, others, out)
+			for j := 0; j < enc.NumRows; j++ {
+				if want := enc.AgreeSet(i, j); out[j] != want {
+					t.Fatalf("%s: AgreeSetsInto(%d)[%d] = %v, want %v", enc.Name, i, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAgreeWindowIntoMatchesAgreeSet(t *testing.T) {
+	for _, enc := range kernelEncodings(t) {
+		for _, cl := range enc.AllClusters() {
+			for window := 2; window <= len(cl.Rows); window++ {
+				n := len(cl.Rows) - window + 1
+				out := make([]fdset.AttrSet, n)
+				counts := make([]int32, n)
+				enc.AgreeWindowInto(cl.Rows, window, 0, n, out, counts)
+				for p := 0; p < n; p++ {
+					want := enc.AgreeSet(int(cl.Rows[p]), int(cl.Rows[p+window-1]))
+					if out[p] != want {
+						t.Fatalf("%s: window %d pos %d = %v, want %v", enc.Name, window, p, out[p], want)
+					}
+					if int(counts[p]) != want.Count() {
+						t.Fatalf("%s: window %d pos %d count = %d, want %d", enc.Name, window, p, counts[p], want.Count())
+					}
+				}
+				if window > 4 {
+					break // wider windows retread the same row pairs shifted
+				}
+			}
+			// Sub-range invocation must match the full sweep shifted.
+			if len(cl.Rows) >= 6 {
+				n := len(cl.Rows) - 1
+				full := make([]fdset.AttrSet, n)
+				cnts := make([]int32, n)
+				enc.AgreeWindowInto(cl.Rows, 2, 0, n, full, cnts)
+				sub := make([]fdset.AttrSet, 3)
+				subc := make([]int32, 3)
+				enc.AgreeWindowInto(cl.Rows, 2, 2, 5, sub, subc)
+				for k := 0; k < 3; k++ {
+					if sub[k] != full[2+k] {
+						t.Fatalf("%s: sub-range mismatch at %d", enc.Name, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAttrSetWords(t *testing.T) {
+	s := fdset.NewAttrSet(0, 63, 64, 130)
+	if s.Word(0) != 1|1<<63 {
+		t.Errorf("Word(0) = %x", s.Word(0))
+	}
+	if s.Word(1) != 1 {
+		t.Errorf("Word(1) = %x", s.Word(1))
+	}
+	var r fdset.AttrSet
+	for i := 0; i < fdset.NumWords; i++ {
+		r.SetWord(i, s.Word(i))
+	}
+	if r != s {
+		t.Error("SetWord round trip lost bits")
+	}
+}

@@ -8,6 +8,8 @@
 package preprocess
 
 import (
+	"math/bits"
+
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/fdset"
 )
@@ -117,6 +119,89 @@ func (e *Encoded) AgreeSet(i, j int) fdset.AttrSet {
 		}
 	}
 	return agree
+}
+
+// AgreeSetsInto computes the agree set of (base, o) for every row o in
+// others, writing result k into out[k] (len(out) must be ≥ len(others)).
+// It is the batched form of AgreeSet: the base row is loaded once, bounds
+// checks amortize over the batch, and agree sets are assembled one 64-bit
+// word at a time instead of one Add call per attribute, which keeps the
+// row-major Labels scan hot in cache. Used by full pairwise induction
+// (Fdep) and anywhere one row is compared against many.
+func (e *Encoded) AgreeSetsInto(base int, others []int32, out []fdset.AttrSet) {
+	rb := e.Labels[base]
+	ncols := len(rb)
+	if ncols <= 64 {
+		for k, o := range others {
+			ro := e.Labels[o]
+			var w uint64
+			for c := 0; c < ncols; c++ {
+				if rb[c] == ro[c] {
+					w |= 1 << uint(c)
+				}
+			}
+			var s fdset.AttrSet
+			s.SetWord(0, w)
+			out[k] = s
+		}
+		return
+	}
+	for k, o := range others {
+		out[k] = agreeWide(rb, e.Labels[o])
+	}
+}
+
+// AgreeWindowInto is the sliding-window batched kernel of the parallel
+// sampler: for every position p in [from, to) it computes the agree set of
+// the pair (rows[p], rows[p+window-1]) into out[p-from] and the agree-set
+// cardinality into counts[p-from]. The counts come for free from the same
+// scan and feed capa accounting (newNonFDs = ncols − |agree|) without a
+// separate popcount pass. out and counts must have length ≥ to−from.
+func (e *Encoded) AgreeWindowInto(rows []int32, window, from, to int, out []fdset.AttrSet, counts []int32) {
+	ncols := len(e.Attrs)
+	if ncols <= 64 {
+		for p := from; p < to; p++ {
+			ri, rj := e.Labels[rows[p]], e.Labels[rows[p+window-1]]
+			var w uint64
+			for c := 0; c < ncols; c++ {
+				if ri[c] == rj[c] {
+					w |= 1 << uint(c)
+				}
+			}
+			var s fdset.AttrSet
+			s.SetWord(0, w)
+			out[p-from] = s
+			counts[p-from] = int32(bits.OnesCount64(w))
+		}
+		return
+	}
+	for p := from; p < to; p++ {
+		s := agreeWide(e.Labels[rows[p]], e.Labels[rows[p+window-1]])
+		out[p-from] = s
+		counts[p-from] = int32(s.Count())
+	}
+}
+
+// agreeWide assembles the agree set of two label rows wider than 64
+// columns, one word per 64-column block.
+func agreeWide(ri, rj []int32) fdset.AttrSet {
+	var s fdset.AttrSet
+	ncols := len(ri)
+	for c := 0; c < ncols; {
+		end := c + 64
+		if end > ncols {
+			end = ncols
+		}
+		var w uint64
+		lo := c
+		for ; c < end; c++ {
+			if ri[c] == rj[c] {
+				w |= 1 << uint(c-lo)
+			}
+		}
+		s.SetWord(lo>>6, w)
+	}
+	return s
 }
 
 // AgreeDisagree returns both the agree set and the disagree set of a row
