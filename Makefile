@@ -4,15 +4,21 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-sampling
+.PHONY: check build vet lint test race bench-smoke bench-sampling
 
-check: build vet race
+check: build vet lint race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Repo-specific invariants (determinism, AttrSet aliasing, pool-callback
+# confinement) enforced by the analyzers in internal/analysis. Also
+# runnable through the vet driver: go vet -vettool=$$(which fdlint) ./...
+lint:
+	$(GO) run ./cmd/fdlint ./...
 
 test:
 	$(GO) test ./...

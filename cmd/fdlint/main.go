@@ -1,0 +1,153 @@
+// Command fdlint runs this repository's determinism, aliasing, and
+// concurrency analyzers (see internal/analysis and DESIGN.md "Invariants
+// & static analysis").
+//
+// Standalone, over go list patterns (the `make lint` entry point):
+//
+//	fdlint ./...
+//
+// As a vet tool, speaking the unitchecker protocol:
+//
+//	go vet -vettool=$(which fdlint) ./...
+//
+// Findings can be suppressed line-by-line with a justification comment:
+//
+//	//fdlint:ignore maporder <reason>
+//
+// Exit status is 1 when any finding is reported, 0 otherwise.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"eulerfd/internal/analysis"
+	"eulerfd/internal/analysis/attrsetalias"
+	"eulerfd/internal/analysis/maporder"
+	"eulerfd/internal/analysis/nondeterm"
+	"eulerfd/internal/analysis/poolrace"
+)
+
+var analyzers = []*analysis.Analyzer{
+	attrsetalias.Analyzer,
+	maporder.Analyzer,
+	nondeterm.Analyzer,
+	poolrace.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Unitchecker protocol, in the order the go command probes it:
+	// version, flag discovery, then one invocation per package config.
+	for _, a := range args {
+		if a == "-V=full" || a == "-V" {
+			printVersion()
+			return 0
+		}
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return vetMode(args[0])
+	}
+
+	fs := flag.NewFlagSet("fdlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: fdlint [packages]\n       go vet -vettool=$(which fdlint) [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	analysis.PrintPlain(os.Stdout, diags)
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// printVersion answers the go command's -V=full probe. Devel builds must
+// report a buildID so cmd/go can cache vet results keyed on the tool
+// binary; hashing the executable mirrors what released tools embed.
+func printVersion() {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", os.Args[0], h.Sum(nil))
+}
+
+// vetMode handles one `go vet` unit: type-check the package described by
+// the config, run the analyzers, emit findings to stderr (the go command
+// relays them), and write the facts file the protocol requires.
+func vetMode(cfgPath string) int {
+	cfg, err := analysis.ReadVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	if err := cfg.WriteVetx(); err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := analysis.LoadVetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(analyzers, []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	analysis.PrintPlain(os.Stderr, diags)
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+// Package analysis is a self-contained, stdlib-only analogue of
+// golang.org/x/tools/go/analysis, sized for this repository's needs. It
+// exists because the build environment vendors no third-party modules:
+// the fdlint analyzers (maporder, attrsetalias, poolrace, nondeterm)
+// express the same Analyzer/Pass contract as x/tools, and cmd/fdlint
+// drives them both standalone (over `go list` patterns) and through the
+// `go vet -vettool` unit-checker protocol.
+//
+// The framework deliberately mirrors the upstream API shape so the
+// analyzers could be ported to x/tools verbatim if the dependency ever
+// becomes available; only the loader and the vet shim are bespoke.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check: a name used in diagnostics and
+// ignore comments, one-line documentation, and the Run function applied
+// once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, positioned within a package's file set.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string         // filled in by the driver
+	Posn     token.Position // resolved by the driver
+	PkgPath  string         // resolved by the driver
+}
+
+// Pass carries one package through one analyzer, x/tools style: parsed
+// files, the type-checked package, and full type information.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// RunAnalyzers applies every analyzer to every package, filters findings
+// suppressed by `//fdlint:ignore` comments, and returns the remaining
+// diagnostics sorted by file position. Analyzer errors abort the run.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = filterIgnored(pkg, diags)
+		for i := range diags {
+			diags[i].Posn = pkg.Fset.Position(diags[i].Pos)
+			diags[i].PkgPath = pkg.Path
+		}
+		for _, d := range diags {
+			// fdlint polices production code; test files routinely
+			// range over maps to compare result sets. The standalone
+			// loader never sees them, but `go vet` hands us test
+			// variants of each package.
+			if strings.HasSuffix(d.Posn.Filename, "_test.go") {
+				continue
+			}
+			all = append(all, d)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Posn, all[j].Posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// filterIgnored drops diagnostics suppressed by ignore comments. A
+// comment of the form
+//
+//	//fdlint:ignore name1,name2 optional reason
+//
+// suppresses findings of the named analyzers on its own line and on the
+// immediately following line (so it can sit above the flagged statement).
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	ignored := make(map[key]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//fdlint:ignore")
+				if !ok {
+					continue
+				}
+				names, _, _ := strings.Cut(strings.TrimSpace(text), " ")
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					ignored[key{pos.Filename, pos.Line, name}] = true
+					ignored[key{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !ignored[key{pos.Filename, pos.Line, d.Analyzer}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}
+
+// GatedPackage reports whether pkgPath is one of the determinism-gated
+// packages that maporder and nondeterm police: the EulerFD result path
+// (root API, core engine, covers, preprocessing, value types, worker
+// pool). Analyzer fixture packages under a testdata directory are always
+// gated so analysistest suites exercise the checks.
+func GatedPackage(pkgPath string) bool {
+	if strings.Contains(pkgPath, "testdata") {
+		return true
+	}
+	switch pkgPath {
+	case "eulerfd",
+		"eulerfd/internal/core",
+		"eulerfd/internal/cover",
+		"eulerfd/internal/preprocess",
+		"eulerfd/internal/fdset",
+		"eulerfd/internal/pool":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against `// want` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest with the loader from
+// internal/analysis.
+//
+// Fixture packages live under the analyzer's testdata directory (which
+// `go build ./...` ignores) and may import real module packages such as
+// eulerfd/internal/fdset; they must type-check. An expectation
+//
+//	code() // want `regexp`
+//
+// requires a diagnostic on that line whose message matches the regexp;
+// lines without expectations must produce no diagnostics. Both "quoted"
+// and `backquoted` regexps are accepted, several per comment.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/analysis"
+)
+
+// Run loads the fixture package at dir (relative to the calling test's
+// working directory) and checks analyzer a's diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir string) {
+	t.Helper()
+	pkgs, err := analysis.Load(".", "./"+strings.TrimPrefix(dir, "./"))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+
+	diags, err := analysis.RunAnalyzers([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				res, err := parseWant(c.Text)
+				if err != nil {
+					pos := pkg.Fset.Position(c.Pos())
+					t.Fatalf("%s: %v", pos, err)
+				}
+				if len(res) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				wants[k] = append(wants[k], res...)
+			}
+		}
+	}
+
+	matched := make(map[key][]bool)
+	for k, res := range wants {
+		matched[k] = make([]bool, len(res))
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		res := wants[k]
+		found := false
+		for i, re := range res {
+			if !matched[k][i] && re.MatchString(d.Message) {
+				matched[k][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for i, re := range res {
+			if !matched[k][i] {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// parseWant extracts the regexps of a `// want "re" ...` comment; a
+// comment without the want marker yields no expectations.
+func parseWant(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "// want ")
+	if !ok {
+		body, ok = strings.CutPrefix(text, "//want ")
+	}
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	body = strings.TrimSpace(body)
+	for body != "" {
+		var tok string
+		switch body[0] {
+		case '"':
+			end := strings.Index(body[1:], `"`)
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want expectation %q", body)
+			}
+			raw := body[:end+2]
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				return nil, fmt.Errorf("bad want expectation %s: %v", raw, err)
+			}
+			tok, body = unq, strings.TrimSpace(body[end+2:])
+		case '`':
+			end := strings.Index(body[1:], "`")
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want expectation %q", body)
+			}
+			tok, body = body[1:end+1], strings.TrimSpace(body[end+2:])
+		default:
+			return nil, fmt.Errorf("want expectations must be quoted, got %q", body)
+		}
+		re, err := regexp.Compile(tok)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", tok, err)
+		}
+		res = append(res, re)
+	}
+	return res, nil
+}

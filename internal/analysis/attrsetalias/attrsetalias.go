@@ -1,0 +1,99 @@
+// Package attrsetalias enforces the copy-on-write discipline of
+// fdset.AttrSet (determinism invariant I2): the pointer-receiver mutators
+// Add, Remove, and SetWord may only be applied to sets the current
+// function provably owns — locally declared variables and by-value
+// parameters/receivers (which are copies; AttrSet is a pure value type).
+// Mutating a set reached through a pointer, a struct field of a shared
+// value, a slice or map element, or a closure capture mutates state other
+// code may alias; such sites must use the value operations
+// (With/Without/Union/Intersect/Diff) or copy first.
+package attrsetalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eulerfd/internal/analysis"
+)
+
+// Analyzer is the attrsetalias check.
+var Analyzer = &analysis.Analyzer{
+	Name: "attrsetalias",
+	Doc:  "flag AttrSet mutator calls on aliased (non-owned) sets",
+	Run:  run,
+}
+
+const fdsetPath = "eulerfd/internal/fdset"
+
+func isMutator(name string) bool {
+	return name == "Add" || name == "Remove" || name == "SetWord"
+}
+
+func run(pass *analysis.Pass) error {
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		recv, recvType, name, ok := analysis.MethodCall(pass.TypesInfo, call)
+		if !ok || !isMutator(name) || !analysis.IsNamed(recvType, fdsetPath, "AttrSet") {
+			return
+		}
+		fn := analysis.EnclosingFunc(stack)
+		if why := shared(pass.TypesInfo, recv, fn); why != "" {
+			pass.Reportf(call.Pos(), "AttrSet.%s mutates a set %s; copy it first or use the value operations With/Without/Union (invariant I2)", name, why)
+		}
+	})
+	return nil
+}
+
+// shared classifies the receiver expression: it returns a non-empty
+// reason when the receiver may be aliased outside the enclosing function
+// fn, and "" when the function owns it (a local value, or a by-value
+// parameter/receiver, reached without crossing a pointer, slice, map, or
+// interface).
+func shared(info *types.Info, e ast.Expr, fn ast.Node) string {
+	for {
+		e = analysis.Unparen(e)
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(x)
+			if obj == nil {
+				return ""
+			}
+			if _, isPtr := obj.Type().(*types.Pointer); isPtr {
+				return "reached through pointer " + x.Name
+			}
+			if fn == nil || !analysis.DeclaredWithin(obj, fn) {
+				return "captured from an enclosing scope (" + x.Name + ")"
+			}
+			return ""
+		case *ast.SelectorExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+					return "stored in a struct reached through a pointer"
+				}
+			}
+			if sel := info.Selections[x]; sel != nil && sel.Indirect() {
+				return "stored in a struct reached through a pointer"
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			tv, ok := info.Types[x.X]
+			if !ok {
+				return ""
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				return "stored in a slice element"
+			case *types.Map:
+				return "stored in a map element"
+			}
+			e = x.X // array element: ownership follows the array
+		case *ast.StarExpr:
+			return "reached through an explicit dereference"
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package attrsetalias_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/attrsetalias"
+)
+
+func TestAttrSetAlias(t *testing.T) {
+	analysistest.Run(t, attrsetalias.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,63 @@
+// Package a exercises the attrsetalias analyzer: mutators on owned sets
+// (locals, by-value parameters — AttrSet is a pure value type, so a copy
+// is a copy) are accepted; mutators on aliased sets (pointers, struct
+// fields behind pointers, slice elements, closure captures) are flagged.
+package a
+
+import "eulerfd/internal/fdset"
+
+// local mutation of an owned set is the intended use.
+func local() fdset.AttrSet {
+	var s fdset.AttrSet
+	s.Add(1)
+	return s
+}
+
+// valueParam mutates its private copy — exactly what With/Without do.
+func valueParam(s fdset.AttrSet) fdset.AttrSet {
+	s.Add(2)
+	return s
+}
+
+// pointerParam mutates the caller's set.
+func pointerParam(s *fdset.AttrSet) {
+	s.Add(3) // want `reached through pointer`
+}
+
+type holder struct{ set fdset.AttrSet }
+
+// mutate writes a set stored in shared structure.
+func (h *holder) mutate() {
+	h.set.Add(4) // want `stored in a struct reached through a pointer`
+}
+
+// copyMutate mutates the receiver copy's field: safe.
+func (h holder) copyMutate() fdset.AttrSet {
+	h.set.Add(5)
+	return h.set
+}
+
+// sliceElem mutates an element other holders of the slice see.
+func sliceElem(sets []fdset.AttrSet) {
+	sets[0].Add(6) // want `stored in a slice element`
+}
+
+// captured mutates a set owned by the enclosing function.
+func captured() func() {
+	var s fdset.AttrSet
+	return func() {
+		s.Add(7) // want `captured from an enclosing scope`
+	}
+}
+
+// localArray keeps ownership: arrays are values.
+func localArray() int {
+	var arr [2]fdset.AttrSet
+	arr[0].Add(8)
+	return arr[0].Count()
+}
+
+// valueOps is the copy-on-write alternative the message recommends.
+func valueOps(s fdset.AttrSet) fdset.AttrSet {
+	return s.With(9).Without(3)
+}

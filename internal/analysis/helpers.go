@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WalkStack traverses every node of every file, calling fn with the
+// ancestor stack (outermost first, n last). Subtrees are never pruned;
+// analyzers filter by node type inside fn.
+func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			fn(n, stack)
+			return true
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function literal or declaration in
+// stack (excluding the last element if it is itself the node of interest's
+// subtree root), or nil when the node is at package level.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// DeclaredWithin reports whether obj's declaration lies inside node's
+// source span. It is the lexical test for "is this variable local to that
+// function/loop" used by the aliasing and race analyzers.
+func DeclaredWithin(obj types.Object, node ast.Node) bool {
+	return obj != nil && node != nil && node.Pos() <= obj.Pos() && obj.Pos() < node.End()
+}
+
+// IsNamed reports whether t (after stripping one level of pointer) is the
+// named type pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// PkgFuncCall reports whether call is pkgpath.Name(...) for a package-
+// qualified function, returning the function name.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// MethodCall resolves call as a method invocation recv.Name(...) and
+// returns the receiver expression, the receiver's type, and the method
+// name. ok is false for plain function and package-qualified calls.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, nil, "", false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return sel.X, s.Recv(), sel.Sel.Name, true
+}
+
+// Unparen strips parentheses.
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// MentionsObject reports whether expr references ident resolving to obj.
+func MentionsObject(info *types.Info, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// MentionsLocalOf reports whether expr references any identifier whose
+// declaration lies within scope's span.
+func MentionsLocalOf(info *types.Info, expr ast.Node, scope ast.Node) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil && DeclaredWithin(obj, scope) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

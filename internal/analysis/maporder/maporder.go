@@ -1,0 +1,389 @@
+// Package maporder flags `range` loops over maps whose iteration order
+// can escape into observable output — returned slices, Stats fields,
+// requeue decisions, logs — without an intervening sort. Go randomizes
+// map iteration order per run, so any such escape makes EulerFD's output
+// run-dependent even for a fixed seed (determinism invariant I1 in
+// DESIGN.md).
+//
+// A map range is accepted when its body is order-insensitive: it only
+// aggregates commutatively (numeric +=, counters, writes into another
+// map keyed by the loop key, delete), collects into a slice that is
+// sorted before the enclosing function ends, or implements an any/all
+// scan that returns constants. Everything else — appends that are never
+// sorted, calls with loop-dependent arguments, writes to outer
+// variables — is reported.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eulerfd/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose order can reach output without a sort",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.GatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return
+		}
+		check(pass, rs, stack)
+	})
+	return nil
+}
+
+// check judges one map-range statement given its ancestor stack.
+func check(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	c := &checker{pass: pass, loop: rs}
+	for _, stmt := range rs.Body.List {
+		c.stmt(stmt)
+	}
+	if c.badPos.IsValid() {
+		pass.Reportf(c.badPos, "map iteration order reaches %s; sort before publishing or restructure the loop (invariant I1)", c.badWhat)
+		return
+	}
+	// Appends into outer slices are fine exactly when each such slice is
+	// sorted later in the enclosing function.
+	fn := analysis.EnclosingFunc(stack)
+	for obj, pos := range c.needsSort {
+		if !sortedAfter(pass, fn, rs, obj) {
+			pass.Reportf(pos, "map iteration order reaches %q through append and %q is never sorted afterwards; add a sort or iterate sorted keys (invariant I1)", obj.Name(), obj.Name())
+		}
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	loop *ast.RangeStmt
+
+	badPos  token.Pos
+	badWhat string
+
+	// needsSort maps outer slice variables appended to inside the loop to
+	// the position of the first such append.
+	needsSort map[types.Object]token.Pos
+}
+
+func (c *checker) fail(pos token.Pos, what string) {
+	if !c.badPos.IsValid() {
+		c.badPos, c.badWhat = pos, what
+	}
+}
+
+// localTo reports whether the identifier's object is declared inside the
+// range statement (loop variables included).
+func (c *checker) localTo(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.ObjectOf(id)
+	return analysis.DeclaredWithin(obj, c.loop)
+}
+
+// stmt classifies one statement as order-insensitive, recording a failure
+// position otherwise.
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.IncDecStmt:
+		c.writeTarget(s.X, s.Pos())
+	case *ast.ExprStmt:
+		c.call(s.X, s.Pos())
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.stmt(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			c.stmt(t)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if !constResult(c.pass.TypesInfo, r) {
+				c.fail(s.Pos(), "a non-constant return value")
+				return
+			}
+		}
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			c.fail(s.Pos(), "a goto")
+		}
+	case *ast.DeclStmt:
+		// Declares loop-locals; order-insensitive by itself.
+	case *ast.RangeStmt:
+		for _, t := range s.Body.List {
+			c.stmt(t)
+		}
+	case *ast.ForStmt:
+		for _, t := range s.Body.List {
+			c.stmt(t)
+		}
+	case *ast.SwitchStmt:
+		for _, cc := range s.Body.List {
+			for _, t := range cc.(*ast.CaseClause).Body {
+				c.stmt(t)
+			}
+		}
+	case *ast.EmptyStmt:
+	default:
+		c.fail(s.Pos(), "a statement the analyzer cannot prove order-insensitive")
+	}
+}
+
+// assign classifies an assignment statement.
+func (c *checker) assign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for i, lhs := range s.Lhs {
+			lhs = analysis.Unparen(lhs)
+			if id, ok := lhs.(*ast.Ident); ok {
+				if id.Name == "_" || c.localTo(id) {
+					continue
+				}
+				// x = append(x, ...) into an outer slice: defer to the
+				// sorted-afterwards check.
+				if i < len(s.Rhs) && isSelfAppend(c.pass.TypesInfo, id, s.Rhs[i]) {
+					if c.needsSort == nil {
+						c.needsSort = make(map[types.Object]token.Pos)
+					}
+					obj := c.pass.TypesInfo.ObjectOf(id)
+					if _, seen := c.needsSort[obj]; !seen {
+						c.needsSort[obj] = s.Pos()
+					}
+					continue
+				}
+				c.fail(s.Pos(), "an assignment to outer variable "+id.Name)
+				return
+			}
+			c.writeTarget(lhs, s.Pos())
+			if c.badPos.IsValid() {
+				return
+			}
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		lhs := analysis.Unparen(s.Lhs[0])
+		if id, ok := lhs.(*ast.Ident); ok {
+			if c.localTo(id) || isNumeric(c.pass.TypesInfo, id) {
+				return // commutative accumulation (string += would be order-dependent)
+			}
+			c.fail(s.Pos(), "a non-commutative accumulation into "+id.Name)
+			return
+		}
+		c.writeTarget(lhs, s.Pos())
+	default:
+		c.fail(s.Pos(), "an order-dependent compound assignment")
+	}
+}
+
+// writeTarget classifies a non-ident write destination: writes into maps
+// and into slots addressed by the loop key are order-insensitive (distinct
+// iterations hit distinct slots); everything else is not.
+func (c *checker) writeTarget(lhs ast.Expr, pos token.Pos) {
+	lhs = analysis.Unparen(lhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" || c.localTo(lhs) || isNumeric(c.pass.TypesInfo, lhs) {
+			return
+		}
+		c.fail(pos, "a write to outer variable "+lhs.Name)
+	case *ast.IndexExpr:
+		tv := c.pass.TypesInfo.Types[lhs.X]
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return // keyed aggregation into another map
+		}
+		if c.keyIndexed(lhs.Index) {
+			return // slot determined by the loop key, not by arrival order
+		}
+		c.fail(pos, "an order-dependent indexed write")
+	case *ast.SelectorExpr:
+		if root := rootIdent(lhs); root != nil && c.localTo(root) {
+			return
+		}
+		c.fail(pos, "a write to a field of an outer value")
+	default:
+		c.fail(pos, "a write the analyzer cannot prove order-insensitive")
+	}
+}
+
+// keyIndexed reports whether the index expression mentions the loop key
+// variable (distinct keys address distinct slots, so iteration order
+// cannot matter).
+func (c *checker) keyIndexed(index ast.Expr) bool {
+	key, ok := c.loop.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	obj := c.pass.TypesInfo.ObjectOf(key)
+	return analysis.MentionsObject(c.pass.TypesInfo, index, obj)
+}
+
+// call classifies an expression statement: only delete(...) and calls on
+// loop-local receivers are order-insensitive.
+func (c *checker) call(e ast.Expr, pos token.Pos) {
+	call, ok := analysis.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		c.fail(pos, "an expression statement")
+		return
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin && b.Name() == "delete" {
+			return
+		}
+	}
+	if recv, _, _, ok := analysis.MethodCall(c.pass.TypesInfo, call); ok {
+		if root := rootIdent(recv); root != nil && c.localTo(root) {
+			return
+		}
+	}
+	c.fail(pos, "a call whose effects may depend on iteration order")
+}
+
+// sortedAfter reports whether, after the loop and before fn ends, some
+// sort-like call (sort.*, slices.Sort*, anything named *Sort*) mentions
+// obj.
+func sortedAfter(pass *analysis.Pass, fn ast.Node, loop *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() {
+			return true
+		}
+		if !isSortCall(pass.TypesInfo, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if analysis.MentionsObject(pass.TypesInfo, arg, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes sort.* and slices.Sort* package calls plus any
+// function whose name contains "Sort" (e.g. fdset.SortFDs).
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := analysis.PkgFuncCall(info, call); ok {
+		if pkg == "sort" {
+			return true
+		}
+		if pkg == "slices" && hasSort(name) {
+			return true
+		}
+		return hasSort(name)
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		return hasSort(id.Name)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return hasSort(sel.Sel.Name)
+	}
+	return false
+}
+
+func hasSort(name string) bool {
+	for i := 0; i+4 <= len(name); i++ {
+		if name[i] == 'S' || name[i] == 's' {
+			if (name[i:i+4] == "Sort") || (name[i:i+4] == "sort") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isSelfAppend reports whether rhs is append(id, ...).
+func isSelfAppend(info *types.Info, id *ast.Ident, rhs ast.Expr) bool {
+	call, ok := analysis.Unparen(rhs).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, isBuiltin := info.ObjectOf(fun).(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return false
+	}
+	base, ok := analysis.Unparen(call.Args[0]).(*ast.Ident)
+	return ok && info.ObjectOf(base) == info.ObjectOf(id)
+}
+
+// isNumeric reports whether the expression has numeric (or boolean)
+// type — the accumulations Go's arithmetic makes commutative.
+func isNumeric(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsNumeric|types.IsBoolean) != 0
+}
+
+// constResult reports whether a return operand is an order-independent
+// constant: literals, true/false/nil.
+func constResult(info *types.Info, e ast.Expr) bool {
+	e = analysis.Unparen(e)
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		switch e.Name {
+		case "true", "false", "nil":
+			return true
+		}
+		if tv, ok := info.Types[e]; ok && tv.Value != nil {
+			return true // named constant
+		}
+	}
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	return false
+}
+
+// rootIdent returns the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := analysis.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, maporder.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,106 @@
+// Package a exercises the maporder analyzer: true positives (map order
+// escaping into output) and true negatives (aggregations, sorted
+// publications, any/all scans).
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keysUnsorted publishes map order through a returned slice.
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `never sorted afterwards`
+	}
+	return out
+}
+
+// keysSorted is the sanctioned pattern: collect, then sort.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sum aggregates commutatively.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// dump leaks map order straight into output.
+func dump(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `iteration order reaches`
+	}
+}
+
+// invert aggregates into another map, keyed deterministically.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// concat depends on encounter order: string += is not commutative.
+func concat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `non-commutative`
+	}
+	return s
+}
+
+// hasNegative is an order-insensitive any-scan.
+func hasNegative(m map[string]int) bool {
+	for _, v := range m {
+		if v < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+type stats struct{ Last string }
+
+// lastKey publishes whichever key the runtime happens to visit last.
+func lastKey(m map[string]int, st *stats) {
+	for k := range m {
+		st.Last = k // want `field of an outer value`
+	}
+}
+
+// keyedSlots writes to slots addressed by the loop key: deterministic.
+func keyedSlots(m map[int]int, out []int) {
+	for k, v := range m {
+		out[k] = v
+	}
+}
+
+// pruned deletes while iterating, which Go defines and order cannot
+// affect.
+func pruned(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// suppressed demonstrates the escape hatch: a justified ignore comment.
+func suppressed(m map[string]int) {
+	for k := range m {
+		//fdlint:ignore maporder fixture exercises the suppression path
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,107 @@
+// Package nondeterm forbids ambient sources of nondeterminism inside the
+// determinism-gated packages (see analysis.GatedPackage): direct wall
+// clock reads (time.Now/Since/Until — Stats timing must go through
+// internal/timing), package-level math/rand functions (the global RNG is
+// unseeded; a seeded *rand.Rand threaded through Options is the allowed
+// path), and map-typed data in exported result surfaces (exported struct
+// fields and exported function results), whose iteration order would leak
+// Go's map randomization to callers. This is determinism invariant I4 in
+// DESIGN.md.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"eulerfd/internal/analysis"
+)
+
+// Analyzer is the nondeterm check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc:  "forbid wall clocks, global RNG, and exported map results in determinism-gated packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.GatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.FuncDecl:
+				checkResults(pass, n)
+			case *ast.TypeSpec:
+				checkType(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name, ok := analysis.PkgFuncCall(pass.TypesInfo, call)
+	if !ok {
+		return
+	}
+	switch pkg {
+	case "time":
+		switch name {
+		case "Now", "Since", "Until":
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in a determinism-gated package; route stage timings through internal/timing (invariant I4)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors for explicitly seeded generators are the sanctioned
+		// path; every package-level function uses the global RNG.
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(), "rand.%s uses the global RNG; thread a seeded *rand.Rand through Options instead (invariant I4)", name)
+		}
+	}
+}
+
+// checkResults flags exported functions/methods returning map types.
+func checkResults(pass *analysis.Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() || fn.Type.Results == nil {
+		return
+	}
+	for _, field := range fn.Type.Results.List {
+		if isMapType(pass.TypesInfo, field.Type) {
+			pass.Reportf(field.Type.Pos(), "exported %s returns a map; map iteration order is randomized — return a sorted slice (invariant I4)", fn.Name.Name)
+		}
+	}
+}
+
+// checkType flags exported map-typed fields of exported struct types.
+func checkType(pass *analysis.Pass, ts *ast.TypeSpec) {
+	if !ts.Name.IsExported() {
+		return
+	}
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return
+	}
+	for _, field := range st.Fields.List {
+		if !isMapType(pass.TypesInfo, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.IsExported() {
+				pass.Reportf(name.Pos(), "exported result field %s.%s is a map; consumers would observe randomized order — expose a sorted slice (invariant I4)", ts.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+func isMapType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

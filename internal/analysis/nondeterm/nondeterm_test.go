@@ -1,0 +1,12 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/nondeterm"
+)
+
+func TestNondeterm(t *testing.T) {
+	analysistest.Run(t, nondeterm.Analyzer, "testdata/src/a")
+}

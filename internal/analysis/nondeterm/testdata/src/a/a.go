@@ -1,0 +1,51 @@
+// Package a exercises the nondeterm analyzer: wall-clock reads, global
+// RNG use, and exported map-shaped results are flagged; seeded
+// generators and unexported state are not.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Result is an exported result type; its exported map field leaks
+// randomized iteration order to consumers.
+type Result struct {
+	Names  []string
+	ByName map[string]int // want `is a map`
+}
+
+// internalState is unexported: maps are fine as private storage.
+type internalState struct {
+	cache map[string]int
+}
+
+// Elapsed reads the wall clock directly instead of going through
+// internal/timing.
+func Elapsed() time.Duration {
+	start := time.Now() // want `reads the wall clock`
+	work()
+	return time.Since(start) // want `reads the wall clock`
+}
+
+// Sample uses the global, unseeded RNG.
+func Sample(n int) int {
+	return rand.Intn(n) // want `global RNG`
+}
+
+// SeededSample threads an explicitly seeded generator — the allowed path.
+func SeededSample(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Index returns a map from an exported function.
+func Index() map[string]int { // want `returns a map`
+	return map[string]int{"a": 1}
+}
+
+// sortedIndex is the deterministic alternative: unexported here, and a
+// slice shape for export.
+func sortedIndex() []string { return []string{"a"} }
+
+func work() {}

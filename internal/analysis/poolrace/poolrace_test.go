@@ -1,0 +1,12 @@
+package poolrace_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/poolrace"
+)
+
+func TestPoolRace(t *testing.T) {
+	analysistest.Run(t, poolrace.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// VetConfig is the per-package configuration file the go command hands a
+// `go vet -vettool` checker (the unitchecker protocol): source files of
+// one package plus the import map and export-data locations of its
+// dependencies.
+type VetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a vet.cfg file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// LoadVetPackage type-checks the package described by a vet config,
+// resolving imports from the export data the go command already built.
+func LoadVetPackage(cfg *VetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, vetExports(cfg))
+	return checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+}
+
+// vetExports builds the import-path → export-file map of a vet config.
+// PackageFile is keyed by canonical paths; ImportMap translates the paths
+// as written in source.
+func vetExports(cfg *VetConfig) map[string]string {
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for as, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[as] = file
+		}
+	}
+	return exports
+}
+
+// WriteVetx writes the (empty) facts output the go command requires a
+// vettool to produce for each package. fdlint's analyzers are fact-free.
+func (cfg *VetConfig) WriteVetx() error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	f, err := os.Create(cfg.VetxOutput)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// PrintPlain writes diagnostics in the file:line:col form the go command
+// relays to the user.
+func PrintPlain(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s\n", d.Posn, d.Analyzer, d.Message)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/timing"
 )
 
 // Options configures EulerFD. The zero value is not meaningful; use
@@ -109,16 +110,17 @@ func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	start := time.Now()
+	start := timing.Start()
+	var pre time.Duration
 	enc := preprocess.Encode(rel)
 	// Measured directly around Encode: deriving it by subtracting stage
 	// times from the total both mislabeled double-cycle overhead as
 	// preprocessing and could go negative across monotonic-clock
 	// adjustments.
-	pre := time.Since(start)
+	start.SetTo(&pre)
 	fds, stats := DiscoverEncoded(enc, opt)
 	stats.Preprocess = pre
-	stats.Total = time.Since(start)
+	start.SetTo(&stats.Total)
 	return fds, stats, nil
 }
 
@@ -126,7 +128,7 @@ func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 // entry point used by the benchmark harness, which pre-encodes datasets so
 // that per-algorithm timings exclude shared preprocessing.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
-	encStart := time.Now()
+	encStart := timing.Start()
 	opt = opt.withDefaults(enc.NumRows)
 	ncols := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: ncols}
@@ -161,8 +163,8 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	// until no cluster remains enqueued (productive clusters are requeued
 	// by capa; parked ones wait for a Reseed from the double cycle).
 	drain := func() []fdset.AttrSet {
-		t0 := time.Now()
-		defer func() { stats.Sampling += time.Since(t0) }()
+		t0 := timing.Start()
+		defer t0.AddTo(&stats.Sampling)
 		var all []fdset.AttrSet
 		for {
 			got := sampler.Batch(opt.BatchPairs)
@@ -189,7 +191,7 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	stats.NcoverSize = ncover.Size()
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
-	stats.Total = time.Since(encStart)
+	encStart.SetTo(&stats.Total)
 	return out, stats
 }
 
@@ -207,7 +209,7 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 	// specialization immediately destroys.
 	pending := make(map[fdset.FD]struct{})
 	addBatch := func(batch []fdset.FD) (added int) {
-		t := time.Now()
+		t := timing.Start()
 		added, events := ncover.AddTrackedBatch(batch, pl)
 		for _, ev := range events {
 			for _, lhs := range ev.Superseded {
@@ -215,7 +217,7 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 			}
 			pending[ev.NonFD] = struct{}{}
 		}
-		stats.NcoverBuild += time.Since(t)
+		t.AddTo(&stats.NcoverBuild)
 		return added
 	}
 	lastBefore := ncover.Size()
@@ -236,14 +238,14 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 		// Inversion: fold the pending non-FDs into the positive cover,
 		// most general first to minimize candidate churn.
 		beforeP := pcover.Size()
-		t := time.Now()
+		t := timing.Start()
 		batch := make([]fdset.FD, 0, len(pending))
 		for f := range pending {
 			batch = append(batch, f)
 		}
 		fdset.SortFDs(batch)
 		addedP := pcover.InvertAllPool(batch, pl)
-		stats.Inversion += time.Since(t)
+		t.AddTo(&stats.Inversion)
 		stats.Inversions++
 		clear(pending)
 

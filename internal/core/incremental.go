@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"eulerfd/internal/cover"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/timing"
 )
 
 // Incremental maintains an EulerFD result across appended row batches —
@@ -58,7 +58,7 @@ func (inc *Incremental) NumRows() int { return inc.encoder.NumRows() }
 // Append folds a batch of rows into the result and returns run statistics
 // for the batch.
 func (inc *Incremental) Append(rows [][]string) (Stats, error) {
-	start := time.Now()
+	start := timing.Start()
 	if err := inc.encoder.Append(rows); err != nil {
 		return Stats{}, err
 	}
@@ -66,7 +66,7 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 	enc := inc.encoder.Snapshot(inc.name)
 	stats := Stats{Rows: enc.NumRows, Cols: inc.ncols}
 	if inc.ncols == 0 {
-		stats.Total = time.Since(start)
+		start.SetTo(&stats.Total)
 		return stats, nil
 	}
 
@@ -91,8 +91,8 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 	}
 
 	drain := func() []fdset.AttrSet {
-		t0 := time.Now()
-		defer func() { stats.Sampling += time.Since(t0) }()
+		t0 := timing.Start()
+		defer t0.AddTo(&stats.Sampling)
 		var all []fdset.AttrSet
 		for {
 			got := sampler.Batch(inc.opt.BatchPairs)
@@ -111,7 +111,7 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 	stats.AgreeSets = len(sampler.seen)
 	stats.NcoverSize = inc.ncover.Size()
 	stats.PcoverSize = inc.pcover.Size()
-	stats.Total = time.Since(start)
+	start.SetTo(&stats.Total)
 	return stats, nil
 }
 

@@ -266,3 +266,103 @@ func TestDynamicCapaRangesStillSound(t *testing.T) {
 		t.Errorf("dynamic ranges changed exhaustive output:\n%v\nvs\n%v", a.Slice(), b.Slice())
 	}
 }
+
+// TestMLFQRequeueOrderRegression pins the full service order of an
+// interleaved Push/PushFront/Pop sequence across the Table IV ladder.
+// Queues and thresholds are plain slices indexed by queue number — no map
+// is involved anywhere in the MLFQ — so this order is part of the
+// determinism contract: it must be queue-ascending, FIFO within a queue,
+// with PushFront jumping only its own queue. Any reintroduction of
+// map-keyed queue state would break this test on the first run.
+func TestMLFQRequeueOrderRegression(t *testing.T) {
+	q := NewMLFQ(4) // thresholds 10, 1, 0.1 (Table IV)
+	cs := make([]*clusterState, 8)
+	for i := range cs {
+		cs[i] = &clusterState{}
+	}
+	// queueFor mapping first: pin the ladder itself.
+	for _, tc := range []struct {
+		capa float64
+		want int
+	}{
+		{50, 0}, {10, 0}, {9.9, 1}, {1, 1}, {0.99, 2}, {0.1, 2}, {0.05, 3}, {0, 3},
+	} {
+		if got := q.queueFor(tc.capa); got != tc.want {
+			t.Fatalf("queueFor(%v) = %d, want %d", tc.capa, got, tc.want)
+		}
+	}
+	// Interleave pushes into every level, with a mid-stream pop and an
+	// interrupted-pass PushFront, the way a drain round does.
+	q.Push(cs[0], 0.5)  // q2
+	q.Push(cs[1], 20)   // q0
+	q.Push(cs[2], 0)    // q3
+	q.Push(cs[3], 2)    // q1
+	q.Push(cs[4], 15)   // q0, behind cs[1]
+	first, _ := q.Pop() // cs[1]: head of q0
+	if first != cs[1] {
+		t.Fatalf("first pop = cs[%d], want cs[1]", indexOf(cs, first))
+	}
+	q.PushFront(first, 3) // pass interrupted by quota: resumes at head of q1
+	q.Push(cs[5], 0.5)    // q2, behind cs[0]
+	q.Push(cs[6], 1)      // q1, behind the re-queued cs[1] and cs[3]
+	q.Push(cs[7], 0)      // q3, behind cs[2]
+
+	want := []*clusterState{cs[4], cs[1], cs[3], cs[6], cs[0], cs[5], cs[2], cs[7]}
+	for i, w := range want {
+		got, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue empty after %d pops, want %d", i, len(want))
+		}
+		if got != w {
+			t.Fatalf("pop %d = cs[%d], want cs[%d]", i, indexOf(cs, got), indexOf(cs, w))
+		}
+	}
+	if _, ok := q.Pop(); ok || q.Len() != 0 {
+		t.Error("queue should be empty after the pinned sequence")
+	}
+
+	// Requeue cycle: the same capa schedule must reproduce the same
+	// service order on every run (drain, re-push at decayed capa, drain).
+	capas := []float64{12, 0.3, 7, 0.01, 1.5}
+	var firstOrder []int
+	for trial := 0; trial < 3; trial++ {
+		for i, c := range capas {
+			q.Push(cs[i], c)
+		}
+		var order []int
+		for {
+			c, ok := q.Pop()
+			if !ok {
+				break
+			}
+			order = append(order, indexOf(cs, c))
+		}
+		if trial == 0 {
+			firstOrder = order
+			continue
+		}
+		for i := range order {
+			if order[i] != firstOrder[i] {
+				t.Fatalf("trial %d service order %v differs from first %v", trial, order, firstOrder)
+			}
+		}
+	}
+	if want := []int{0, 2, 4, 1, 3}; len(firstOrder) != len(want) {
+		t.Fatalf("service order %v, want %v", firstOrder, want)
+	} else {
+		for i := range want {
+			if firstOrder[i] != want[i] {
+				t.Fatalf("service order %v, want %v", firstOrder, want)
+			}
+		}
+	}
+}
+
+func indexOf(cs []*clusterState, c *clusterState) int {
+	for i := range cs {
+		if cs[i] == c {
+			return i
+		}
+	}
+	return -1
+}

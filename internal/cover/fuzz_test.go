@@ -1,0 +1,119 @@
+package cover
+
+import (
+	"testing"
+
+	"eulerfd/internal/fdset"
+)
+
+// fuzzNonFDs decodes a byte stream into a bounded batch of non-trivial
+// non-FDs over ncols attributes: each pair of bytes is (LHS mask, RHS).
+func fuzzNonFDs(data []byte, ncols int) []fdset.FD {
+	const maxFDs = 64
+	var out []fdset.FD
+	for i := 0; i+1 < len(data) && len(out) < maxFDs; i += 2 {
+		rhs := int(data[i+1]) % ncols
+		var lhs fdset.AttrSet
+		for b := 0; b < ncols; b++ {
+			if data[i]&(1<<b) != 0 && b != rhs {
+				lhs.Add(b)
+			}
+		}
+		out = append(out, fdset.FD{LHS: lhs, RHS: rhs})
+	}
+	return out
+}
+
+// FuzzTreeInsertInvert drives arbitrary non-FD batches through the
+// negative cover and both inversion variants, checking the structural
+// invariants the discovery loop depends on: stored LHS sets form an
+// antichain, every observed non-FD stays covered, and Invert agrees with
+// the paper-literal InvertLiteral reference.
+func FuzzTreeInsertInvert(f *testing.F) {
+	f.Add([]byte{0b0011, 2, 0b0111, 2, 0b0001, 0})
+	f.Add([]byte{0xff, 0, 0x0f, 1, 0xf0, 1, 0x55, 3})
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const ncols = 8
+		nonFDs := fuzzNonFDs(data, ncols)
+		if len(nonFDs) == 0 {
+			t.Skip()
+		}
+
+		nc := NewNCover(ncols, nil)
+		for _, nf := range nonFDs {
+			nc.Add(nf)
+		}
+		total := 0
+		for rhs := 0; rhs < ncols; rhs++ {
+			sets := nc.Tree(rhs).Sets()
+			total += len(sets)
+			for i, a := range sets {
+				for j, b := range sets {
+					if i != j && a.IsSubsetOf(b) {
+						t.Fatalf("rhs %d: stored LHSs not an antichain: %v ⊆ %v", rhs, a, b)
+					}
+				}
+			}
+			for _, s := range sets {
+				if !nc.Tree(rhs).Contains(s) {
+					t.Fatalf("rhs %d: Sets() returned %v but Contains is false", rhs, s)
+				}
+			}
+		}
+		if total != nc.Size() {
+			t.Fatalf("Size() = %d, trees hold %d sets", nc.Size(), total)
+		}
+		for _, nf := range nonFDs {
+			if !nc.Covers(nf) {
+				t.Fatalf("cover lost observed non-FD %v", nf)
+			}
+			// Maximality: the covering witness must be a stored superset.
+			found := false
+			for _, s := range nc.Tree(nf.RHS).Sets() {
+				if nf.LHS.IsSubsetOf(s) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("Covers(%v) true but no stored superset", nf)
+			}
+		}
+
+		// Both inversion variants must refine the positive cover to the
+		// same candidate set (the optimized Invert skips churn, not FDs).
+		pcFast := NewPCover(ncols, nil)
+		pcRef := NewPCover(ncols, nil)
+		for _, nf := range nonFDs {
+			pcFast.Invert(nf)
+			pcRef.InvertLiteral(nf)
+		}
+		if !pcFast.FDs().Equal(pcRef.FDs()) {
+			t.Fatalf("Invert and InvertLiteral diverged:\nfast: %v\nref:  %v",
+				pcFast.FDs().Slice(), pcRef.FDs().Slice())
+		}
+		for rhs := 0; rhs < ncols; rhs++ {
+			cands := pcFast.Tree(rhs).Sets()
+			for i, a := range cands {
+				for j, b := range cands {
+					if i != j && a.IsSubsetOf(b) {
+						t.Fatalf("rhs %d: candidates not minimal: %v ⊆ %v", rhs, a, b)
+					}
+				}
+			}
+			// Consistency: every surviving candidate escapes every
+			// inverted non-FD with this RHS.
+			for _, nf := range nonFDs {
+				if nf.RHS != rhs {
+					continue
+				}
+				for _, c := range cands {
+					if c.IsSubsetOf(nf.LHS) {
+						t.Fatalf("candidate %v→%d still invalidated by non-FD %v", c, rhs, nf)
+					}
+				}
+			}
+		}
+	})
+}

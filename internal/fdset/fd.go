@@ -114,12 +114,13 @@ func (s *Set) Slice() []FD {
 	return out
 }
 
-// ForEach calls fn for every FD in unspecified order.
+// ForEach calls fn for every FD in the deterministic order of Slice
+// (ascending RHS, then LHS cardinality, then attribute list). Iterating
+// the underlying map directly would leak Go's randomized map order into
+// callers' output (determinism invariant I1); the sort is cheap at the
+// scale of result sets.
 func (s *Set) ForEach(fn func(FD)) {
-	if s == nil {
-		return
-	}
-	for f := range s.m {
+	for _, f := range s.Slice() {
 		fn(f)
 	}
 }
@@ -166,10 +167,21 @@ func (s *Set) Minimize() *Set {
 		}
 		byRHS[f.RHS] = append(byRHS[f.RHS], f)
 	}
-	for _, fds := range byRHS {
-		// Sort by LHS size ascending so that any generalization of f
-		// precedes f; a linear scan per FD is fine for test-scale sets.
-		sort.Slice(fds, func(i, j int) bool { return fds[i].LHS.Count() < fds[j].LHS.Count() })
+	// The final set is order-independent, but iterating byRHS in sorted key
+	// order keeps the whole method a deterministic computation (and keeps
+	// the maporder analyzer vacuously true here).
+	rhss := make([]int, 0, len(byRHS))
+	for rhs := range byRHS {
+		rhss = append(rhss, rhs)
+	}
+	sort.Ints(rhss)
+	for _, rhs := range rhss {
+		fds := byRHS[rhs]
+		// Sort by Less (LHS size ascending, then attribute order) so that
+		// any generalization of f precedes f and the scan order does not
+		// inherit map iteration order; a linear scan per FD is fine for
+		// test-scale sets.
+		SortFDs(fds)
 		for i, f := range fds {
 			for j := 0; j < i; j++ {
 				g := fds[j]

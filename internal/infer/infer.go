@@ -22,7 +22,7 @@ func Closure(fds *fdset.Set, x fdset.AttrSet, ncols int) fdset.AttrSet {
 		changed := false
 		fds.ForEach(func(f fdset.FD) {
 			if f.RHS < ncols && !closure.Has(f.RHS) && f.LHS.IsSubsetOf(closure) {
-				closure.Add(f.RHS)
+				closure = closure.With(f.RHS)
 				changed = true
 			}
 		})

@@ -97,3 +97,30 @@ func TestConstantOn(t *testing.T) {
 		t.Error("AB partition should be constant on M")
 	}
 }
+
+func TestPartitionCacheLRURecency(t *testing.T) {
+	rel := randomRelation(rand.New(rand.NewSource(7)), 40, 6, 2)
+	enc := Encode(rel)
+	c := NewPartitionCache(enc, 2)
+	a := fdset.NewAttrSet(0, 1)
+	b := fdset.NewAttrSet(1, 2)
+	d := fdset.NewAttrSet(2, 3)
+	c.Get(a)
+	c.Get(b)
+	// Touch a: the hit must promote it, so the next insert evicts b.
+	hits := c.Hits
+	c.Get(a)
+	if c.Hits != hits+1 {
+		t.Fatalf("re-Get of a cached set must hit, Hits = %d -> %d", hits, c.Hits)
+	}
+	c.Get(d) // evicts b, not the recently-touched a
+	misses := c.Misses
+	c.Get(a)
+	if c.Misses != misses {
+		t.Error("recently-hit entry was evicted ahead of the older one")
+	}
+	c.Get(b)
+	if c.Misses != misses+1 {
+		t.Error("least-recently-used entry should have been the eviction victim")
+	}
+}

@@ -266,16 +266,27 @@ func (e *Encoded) PartitionOf(x fdset.AttrSet) StrippedPartition {
 // Refine splits every cluster of p by the labels of attribute a, dropping
 // resulting singletons. This is the partition product π_p · π_a specialised
 // to a single-attribute refiner.
+//
+// Sub-clusters are emitted in first-occurrence order of their label within
+// each parent cluster — never in map iteration order. Cluster order flows
+// into sampling order and into Violation witnesses, so it must be a pure
+// function of the input (determinism invariant I1, DESIGN.md).
 func (e *Encoded) Refine(p StrippedPartition, a int) StrippedPartition {
 	var out [][]int32
 	groups := make(map[int32][]int32)
+	var order []int32 // labels of this cluster in first-occurrence order
 	for _, cluster := range p.Clusters {
+		order = order[:0]
 		for _, r := range cluster {
 			l := e.Labels[r][a]
-			groups[l] = append(groups[l], r)
+			g, seen := groups[l]
+			if !seen {
+				order = append(order, l)
+			}
+			groups[l] = append(g, r)
 		}
-		for l, g := range groups {
-			if len(g) > 1 {
+		for _, l := range order {
+			if g := groups[l]; len(g) > 1 {
 				out = append(out, g)
 			}
 			delete(groups, l)
@@ -298,18 +309,27 @@ func Product(p, q StrippedPartition, numRows int) StrippedPartition {
 			probe[r] = int32(id)
 		}
 	}
+	// As in Refine, product clusters are emitted in first-occurrence order
+	// of their q-cluster id within each p-cluster, keeping the output a
+	// pure function of the operands (determinism invariant I1).
 	var out [][]int32
 	groups := make(map[int32][]int32)
+	var order []int32
 	for _, cluster := range p.Clusters {
+		order = order[:0]
 		for _, r := range cluster {
 			id := probe[r]
 			if id < 0 {
 				continue
 			}
-			groups[id] = append(groups[id], r)
+			g, seen := groups[id]
+			if !seen {
+				order = append(order, id)
+			}
+			groups[id] = append(g, r)
 		}
-		for id, g := range groups {
-			if len(g) > 1 {
+		for _, id := range order {
+			if g := groups[id]; len(g) > 1 {
 				out = append(out, g)
 			}
 			delete(groups, id)

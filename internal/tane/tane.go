@@ -100,8 +100,7 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 				}
 				if parent.errVal == nd.errVal { // X\{A} → A holds
 					out.Add(fdset.FD{LHS: x.Without(a), RHS: a})
-					nd.cplus.Remove(a)
-					nd.cplus = nd.cplus.Diff(full.Diff(x))
+					nd.cplus = nd.cplus.Without(a).Diff(full.Diff(x))
 				}
 			}
 		}

@@ -1,0 +1,29 @@
+// Package timing is the only sanctioned wall-clock access point of the
+// determinism-gated packages (internal/core, internal/cover,
+// internal/preprocess, internal/fdset). Those packages must produce
+// bit-identical FD output for a fixed input and seed, so the nondeterm
+// analyzer (internal/analysis/nondeterm) forbids direct time.Now and
+// time.Since calls there; Stats timing instead goes through a Stopwatch,
+// which can only deposit elapsed durations into reporting fields and is
+// trivially auditable by grepping for "timing.".
+package timing
+
+import "time"
+
+// Stopwatch captures a start instant. The zero value is not meaningful;
+// obtain one from Start.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// Start begins a measurement.
+func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// AddTo accumulates the elapsed time since Start into *d. It is the
+// accumulation form used for stage timings that are entered repeatedly
+// (sampling drains, inversion rounds).
+func (s Stopwatch) AddTo(d *time.Duration) { *d += time.Since(s.t0) }
+
+// SetTo overwrites *d with the elapsed time since Start, for one-shot
+// stage timings (preprocessing, totals).
+func (s Stopwatch) SetTo(d *time.Duration) { *d = time.Since(s.t0) }

@@ -1,0 +1,29 @@
+package timing
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStopwatchAddTo(t *testing.T) {
+	sw := Start()
+	var d time.Duration
+	sw.AddTo(&d)
+	if d < 0 {
+		t.Fatalf("AddTo produced negative duration %v", d)
+	}
+	prev := d
+	sw.AddTo(&d)
+	if d < prev {
+		t.Fatalf("AddTo must accumulate: %v then %v", prev, d)
+	}
+}
+
+func TestStopwatchSetTo(t *testing.T) {
+	sw := Start()
+	d := time.Hour
+	sw.SetTo(&d)
+	if d >= time.Hour || d < 0 {
+		t.Fatalf("SetTo must overwrite with elapsed time, got %v", d)
+	}
+}
