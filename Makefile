@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-smoke bench-sampling
+.PHONY: check build vet lint test race bench-smoke bench-sampling regress regress-record
 
-check: build vet lint race
+check: build vet lint race regress
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,15 @@ bench-smoke:
 # Regenerates the committed machine-readable sampling benchmark.
 bench-sampling:
 	$(GO) run ./cmd/fdbench -json BENCH_sampling.json
+
+# Regression gate: runs the canonical suite and diffs against the
+# committed BASELINE.json. Accuracy is exact-match gated; wall times are
+# threshold gated only when the machine shape matches the baseline's
+# (see README "Regression workflow").
+regress:
+	$(GO) run ./cmd/fdregress check
+
+# Re-records BASELINE.json. Run after an intentional behavior change,
+# then commit the new baseline with the change that explains it.
+regress-record:
+	$(GO) run ./cmd/fdregress record -runs 5

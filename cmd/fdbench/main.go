@@ -53,16 +53,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	runner.EulerOptions.Workers = *workers
 
 	if *jsonPath != "" {
-		// Create the output file before the (multi-minute) benchmark so a
-		// bad path fails fast instead of discarding the run.
-		f, err := os.Create(*jsonPath)
-		if err != nil {
-			fmt.Fprintln(stderr, "fdbench:", err)
-			return 1
-		}
-		defer f.Close()
-		report := bench.RunSampling(stdout, runner, *workers)
-		if err := bench.WriteSamplingJSON(f, report); err != nil {
+		if err := bench.RunSamplingToFile(stdout, runner, *workers, *jsonPath); err != nil {
 			fmt.Fprintln(stderr, "fdbench:", err)
 			return 1
 		}

@@ -16,6 +16,7 @@ import (
 	"eulerfd/internal/hyfd"
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/regress/report"
 	"eulerfd/internal/tane"
 )
 
@@ -133,27 +134,12 @@ func FmtF1(c Cell) string {
 	return fmt.Sprintf("%.3f", c.F1)
 }
 
-// Table is a minimal fixed-width table writer for paper-style output.
-type Table struct {
-	w      io.Writer
-	widths []int
-}
+// Table is the shared fixed-width table writer; see
+// internal/regress/report, which owns rendering for both the benchmark
+// and regression harnesses.
+type Table = report.Table
 
 // NewTable writes a header row and remembers column widths.
 func NewTable(w io.Writer, headers []string, widths []int) *Table {
-	t := &Table{w: w, widths: widths}
-	t.Row(headers...)
-	return t
-}
-
-// Row writes one row, padding cells to the configured widths.
-func (t *Table) Row(cells ...string) {
-	for i, c := range cells {
-		width := 12
-		if i < len(t.widths) {
-			width = t.widths[i]
-		}
-		fmt.Fprintf(t.w, "%-*s", width, c)
-	}
-	fmt.Fprintln(t.w)
+	return report.NewTable(w, headers, widths)
 }

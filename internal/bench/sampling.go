@@ -1,9 +1,9 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"strings"
 
@@ -11,6 +11,7 @@ import (
 	"eulerfd/internal/datasets"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/regress/report"
 )
 
 // SamplingDatasets are the registry datasets the sampling benchmark runs
@@ -39,8 +40,10 @@ type SamplingCell struct {
 }
 
 // SamplingReport is the JSON document fdbench -json emits; it records the
-// machine so speedup numbers are interpretable.
+// machine so speedup numbers are interpretable, and the schema version so
+// readers can reject documents written by a different harness build.
 type SamplingReport struct {
+	Schema     int            `json:"schema"`
 	NumCPU     int            `json:"num_cpu"`
 	GOMAXPROCS int            `json:"gomaxprocs"`
 	Workers    int            `json:"workers"`
@@ -61,7 +64,7 @@ func renderFDs(fds *fdset.Set, attrs []string) string {
 func samplingCell(enc *preprocess.Encoded, opt core.Options, workers int) (SamplingCell, string) {
 	opt.Workers = workers
 	fds, st := core.DiscoverEncoded(enc, opt)
-	ms := func(d interface{ Seconds() float64 }) float64 { return d.Seconds() * 1000 }
+	ms := report.Millis
 	return SamplingCell{
 		Dataset: enc.Name, Rows: enc.NumRows, Cols: len(enc.Attrs),
 		Workers: workers, Exhaustive: opt.ExhaustWindows,
@@ -84,9 +87,9 @@ func RunSampling(w io.Writer, r *Runner, workers int) SamplingReport {
 		// records NumCPU so speedups stay interpretable.
 		workers = max(runtime.NumCPU(), 4)
 	}
-	report := SamplingReport{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers}
+	rep := SamplingReport{Schema: report.SchemaVersion, NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers}
 	fmt.Fprintf(w, "Sampling engine: Workers=1 vs Workers=%d (NumCPU=%d), ExhaustWindows\n",
-		workers, report.NumCPU)
+		workers, rep.NumCPU)
 	t := NewTable(w, []string{"dataset", "rows", "cols", "workers", "sampling", "ncover", "invert", "total", "speedup", "identical"},
 		[]int{16, 8, 6, 9, 10, 10, 10, 10, 9, 10})
 	for _, name := range SamplingDatasets {
@@ -114,16 +117,30 @@ func RunSampling(w io.Writer, r *Runner, workers int) SamplingReport {
 				fmt.Sprintf("%.1fms", c.InversionMS), fmt.Sprintf("%.1fms", c.TotalMS),
 				fmt.Sprintf("%.2fx", c.SamplingSpeedup), fmt.Sprint(c.MatchesSequential))
 		}
-		report.Cells = append(report.Cells, seq, par)
+		rep.Cells = append(rep.Cells, seq, par)
 	}
-	return report
+	return rep
 }
 
-// WriteSamplingJSON writes the report as indented JSON.
-func WriteSamplingJSON(w io.Writer, report SamplingReport) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+// WriteSamplingJSON writes the report as schema-versioned indented JSON.
+func WriteSamplingJSON(w io.Writer, rep SamplingReport) error {
+	return report.WriteJSON(w, rep)
+}
+
+// RunSamplingToFile runs the sampling benchmark and writes the JSON
+// report to path. The output file is created before the (multi-minute)
+// benchmark so a bad path fails fast instead of discarding the run.
+func RunSamplingToFile(w io.Writer, r *Runner, workers int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := RunSampling(w, r, workers)
+	if err := WriteSamplingJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // Sampling is the fdbench experiment wrapper around RunSampling with the

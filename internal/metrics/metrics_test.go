@@ -58,3 +58,85 @@ func TestEvaluateEmptyDiscovered(t *testing.T) {
 		t.Errorf("missed everything scored %+v", r)
 	}
 }
+
+func TestEvaluateEmptyTruth(t *testing.T) {
+	// Everything discovered against an empty truth is a false positive;
+	// with zero true positives every rate stays at its 0 default (the
+	// undefined 0/0 recall is reported as 0, not NaN).
+	disc := fdset.NewSet(fd([]int{0}, 1), fd([]int{2}, 3))
+	r := Evaluate(disc, fdset.NewSet())
+	if r.TruePositives != 0 || r.FalsePositives != 2 || r.FalseNegatives != 0 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if r.Precision != 0 || r.Recall != 0 || r.F1 != 0 {
+		t.Errorf("rates should be 0, got %+v", r)
+	}
+	if math.IsNaN(r.Precision) || math.IsNaN(r.Recall) || math.IsNaN(r.F1) {
+		t.Errorf("NaN leaked: %+v", r)
+	}
+}
+
+func TestEvaluateDuplicateFDs(t *testing.T) {
+	// Set semantics dedup repeated insertions, so a duplicated FD cannot
+	// double-count as two true positives.
+	disc := fdset.NewSet()
+	disc.Add(fd([]int{0}, 1))
+	disc.Add(fd([]int{0}, 1)) // duplicate: Add reports already-present
+	truth := fdset.NewSet(fd([]int{0}, 1))
+	r := Evaluate(disc, truth)
+	if r.TruePositives != 1 || r.FalsePositives != 0 {
+		t.Errorf("duplicate FD double-counted: %+v", r)
+	}
+	if r.F1 != 1 {
+		t.Errorf("F1 = %v", r.F1)
+	}
+}
+
+func TestEvaluateTrivialFD(t *testing.T) {
+	// A trivial FD (RHS ∈ LHS) in the discovered set is matched exactly
+	// like any other: minimal non-trivial truth never contains it, so it
+	// scores as a false positive rather than being silently dropped.
+	trivial := fd([]int{1, 2}, 1)
+	if !trivial.IsTrivial() {
+		t.Fatal("test FD should be trivial")
+	}
+	truth := fdset.NewSet(fd([]int{0}, 1))
+	disc := fdset.NewSet(fd([]int{0}, 1), trivial)
+	r := Evaluate(disc, truth)
+	if r.TruePositives != 1 || r.FalsePositives != 1 {
+		t.Errorf("trivial FD not scored as FP: %+v", r)
+	}
+}
+
+func TestEvaluateNonminimalAsymmetry(t *testing.T) {
+	// Discovering a nonminimal specialization (AB → C when the truth is
+	// A → C) is an exact-match miss on BOTH sides: the specialization is
+	// a false positive and the minimal FD a false negative — strictly
+	// worse than a plain miss, which costs recall only.
+	truth := fdset.NewSet(fd([]int{0}, 2), fd([]int{1}, 3))
+
+	nonminimal := Evaluate(fdset.NewSet(fd([]int{0, 1}, 2), fd([]int{1}, 3)), truth)
+	if nonminimal.TruePositives != 1 || nonminimal.FalsePositives != 1 || nonminimal.FalseNegatives != 1 {
+		t.Fatalf("nonminimal counts: %+v", nonminimal)
+	}
+	if math.Abs(nonminimal.Precision-0.5) > 1e-12 || math.Abs(nonminimal.Recall-0.5) > 1e-12 {
+		t.Errorf("nonminimal P/R: %+v", nonminimal)
+	}
+
+	missed := Evaluate(fdset.NewSet(fd([]int{1}, 3)), truth)
+	if missed.TruePositives != 1 || missed.FalsePositives != 0 || missed.FalseNegatives != 1 {
+		t.Fatalf("missed counts: %+v", missed)
+	}
+	if missed.Precision != 1 || math.Abs(missed.Recall-0.5) > 1e-12 {
+		t.Errorf("missed P/R: %+v", missed)
+	}
+
+	// The asymmetry the regression gate leans on: same recall, but the
+	// nonminimal answer pays in precision where the plain miss does not.
+	if !(nonminimal.Precision < missed.Precision) || nonminimal.Recall != missed.Recall {
+		t.Errorf("asymmetry violated: nonminimal %+v vs missed %+v", nonminimal, missed)
+	}
+	if !(nonminimal.F1 < missed.F1) {
+		t.Errorf("F1 should rank the plain miss above the nonminimal find: %v vs %v", nonminimal.F1, missed.F1)
+	}
+}

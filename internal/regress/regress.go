@@ -1,0 +1,229 @@
+// Package regress is the regression harness that turns the repo's
+// discovery stack into a CI gate. A canonical suite of deterministic
+// datasets (seeded internal/gen profiles plus the committed
+// internal/datasets corpora) is run through EulerFD; per cell the harness
+// records
+//
+//   - accuracy: precision/recall/F1 of EulerFD's output against the exact
+//     ground truth from internal/tane (scored by internal/metrics), plus
+//     cover sizes and double-cycle counters — all bit-identical across
+//     runs and machines by the determinism contract (DESIGN.md I1–I4), so
+//     they are gated by exact match; and
+//   - performance: median-of-N wall times per module (sampling / ncover /
+//     inversion / total) — inherently noisy, so they are gated by relative
+//     thresholds, and only when the machine shape (NumCPU, Workers)
+//     matches the baseline's.
+//
+// cmd/fdregress records baselines (BASELINE.json), checks a tree against
+// one, and diffs two recorded files.
+package regress
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"eulerfd/internal/core"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/datasets"
+	"eulerfd/internal/gen"
+	"eulerfd/internal/metrics"
+	"eulerfd/internal/preprocess"
+	"eulerfd/internal/regress/report"
+	"eulerfd/internal/tane"
+	"eulerfd/internal/timing"
+)
+
+// Source is one suite cell: a named deterministic relation.
+type Source struct {
+	Name  string
+	Build func() *dataset.Relation
+}
+
+// DefaultSuite returns the canonical regression cells: the registry
+// corpora small enough for TANE ground truth to stay sub-second (the
+// exact lattice blows up past ~13 columns at these row counts; adult and
+// letter are benchmark-only), plus seeded gen profiles covering the
+// planted-FD, accidental-agreement, and block-correlated families.
+func DefaultSuite() []Source {
+	fromRegistry := func(name string) Source {
+		return Source{Name: name, Build: func() *dataset.Relation {
+			d, err := datasets.ByName(name)
+			if err != nil {
+				panic(err) // registry names are compile-time constants here
+			}
+			return d.Build()
+		}}
+	}
+	suite := []Source{}
+	for _, name := range []string{
+		"iris", "balance-scale", "chess", "abalone", "nursery",
+		"breast-cancer", "bridges", "echocardiogram",
+	} {
+		suite = append(suite, fromRegistry(name))
+	}
+	suite = append(suite,
+		Source{Name: "patient", Build: gen.Patient},
+		Source{Name: "gen-fd-reduced-800x10", Build: func() *dataset.Relation {
+			return gen.FDReduced("gen-fd-reduced-800x10", 800, 10, 0xfdc0de)
+		}},
+		Source{Name: "gen-wide-sparse-200x12", Build: func() *dataset.Relation {
+			return gen.WideSparseTuned("gen-wide-sparse-200x12", 200, 12, 0.25, 0.15, 0x5eed5)
+		}},
+	)
+	return suite
+}
+
+// Accuracy is the exact-match-gated half of a cell: EulerFD's quality
+// against the TANE ground truth plus the double-cycle counters. Every
+// field is deterministic for a fixed dataset and Options.
+type Accuracy struct {
+	TruePositives  int     `json:"tp"`
+	FalsePositives int     `json:"fp"`
+	FalseNegatives int     `json:"fn"`
+	Precision      float64 `json:"precision"`
+	Recall         float64 `json:"recall"`
+	F1             float64 `json:"f1"`
+	FDs            int     `json:"fds"`       // EulerFD output size (= PcoverSize)
+	TruthFDs       int     `json:"truth_fds"` // exact minimal cover size
+	NcoverSize     int     `json:"ncover_size"`
+	PcoverSize     int     `json:"pcover_size"`
+	AgreeSets      int     `json:"agree_sets"`
+	PairsCompared  int     `json:"pairs_compared"`
+	SampleBatches  int     `json:"sample_batches"`
+	Inversions     int     `json:"inversions"` // second-cycle iterations
+}
+
+// Perf is the threshold-gated half of a cell: median-of-N wall times per
+// engine module, in milliseconds.
+type Perf struct {
+	Runs        int     `json:"runs"`
+	SamplingMS  float64 `json:"sampling_ms"`
+	NcoverMS    float64 `json:"ncover_ms"`
+	InversionMS float64 `json:"inversion_ms"`
+	TotalMS     float64 `json:"total_ms"`
+}
+
+// CellResult is one measured suite cell.
+type CellResult struct {
+	Dataset  string   `json:"dataset"`
+	Rows     int      `json:"rows"`
+	Cols     int      `json:"cols"`
+	Accuracy Accuracy `json:"accuracy"`
+	Perf     Perf     `json:"perf"`
+}
+
+// Baseline is the BASELINE.json document: the full suite result plus the
+// machine shape needed to decide whether wall times are comparable.
+type Baseline struct {
+	Schema     int          `json:"schema"`
+	Suite      string       `json:"suite"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Cells      []CellResult `json:"cells"`
+}
+
+// Config controls a suite run.
+type Config struct {
+	// Runs is how many timed EulerFD executions feed each perf median.
+	// Accuracy comes from the first run (the rest are bit-identical by
+	// the determinism contract). Minimum 1.
+	Runs int
+	// Workers is the EulerFD worker-pool size (0 = NumCPU). Recorded in
+	// the baseline: wall times are only compared across equal values.
+	Workers int
+	// Options overrides the engine options; zero value means
+	// core.DefaultOptions(). Workers above takes precedence.
+	Options *core.Options
+}
+
+func (c Config) options() core.Options {
+	opt := core.DefaultOptions()
+	if c.Options != nil {
+		opt = *c.Options
+	}
+	opt.Workers = c.Workers
+	return opt
+}
+
+// Run executes the suite and returns the measured baseline. Progress
+// lines (one per cell) go to w when it is non-nil.
+func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
+	if cfg.Runs < 1 {
+		cfg.Runs = 1
+	}
+	opt := cfg.options()
+	b := &Baseline{
+		Schema:     report.SchemaVersion,
+		Suite:      "default",
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    cfg.Workers,
+	}
+	for _, src := range suite {
+		cell := runCell(src, opt, cfg.Runs)
+		b.Cells = append(b.Cells, cell)
+		if w != nil {
+			fmt.Fprintf(w, "%-24s rows=%-6d cols=%-4d F1=%.4f fds=%-6d total=%.1fms\n",
+				cell.Dataset, cell.Rows, cell.Cols, cell.Accuracy.F1, cell.Accuracy.FDs, cell.Perf.TotalMS)
+		}
+	}
+	return b
+}
+
+func runCell(src Source, opt core.Options, runs int) CellResult {
+	enc := preprocess.Encode(src.Build())
+	truth, _ := tane.DiscoverEncoded(enc)
+
+	var first core.Stats
+	sampling := make([]float64, 0, runs)
+	ncover := make([]float64, 0, runs)
+	inversion := make([]float64, 0, runs)
+	total := make([]float64, 0, runs)
+	var acc Accuracy
+	for i := 0; i < runs; i++ {
+		sw := timing.Start()
+		fds, st := core.DiscoverEncoded(enc, opt)
+		var wall time.Duration
+		sw.SetTo(&wall)
+		sampling = append(sampling, report.Millis(st.Sampling))
+		ncover = append(ncover, report.Millis(st.NcoverBuild))
+		inversion = append(inversion, report.Millis(st.Inversion))
+		total = append(total, report.Millis(wall))
+		if i == 0 {
+			first = st
+			m := metrics.Evaluate(fds, truth)
+			acc = Accuracy{
+				TruePositives:  m.TruePositives,
+				FalsePositives: m.FalsePositives,
+				FalseNegatives: m.FalseNegatives,
+				Precision:      m.Precision,
+				Recall:         m.Recall,
+				F1:             m.F1,
+				FDs:            fds.Len(),
+				TruthFDs:       truth.Len(),
+				NcoverSize:     st.NcoverSize,
+				PcoverSize:     st.PcoverSize,
+				AgreeSets:      st.AgreeSets,
+				PairsCompared:  st.PairsCompared,
+				SampleBatches:  st.SampleBatches,
+				Inversions:     st.Inversions,
+			}
+		}
+	}
+	return CellResult{
+		Dataset:  enc.Name,
+		Rows:     first.Rows,
+		Cols:     first.Cols,
+		Accuracy: acc,
+		Perf: Perf{
+			Runs:        runs,
+			SamplingMS:  report.Median(sampling),
+			NcoverMS:    report.Median(ncover),
+			InversionMS: report.Median(inversion),
+			TotalMS:     report.Median(total),
+		},
+	}
+}

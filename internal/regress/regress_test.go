@@ -1,0 +1,289 @@
+package regress
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/regress/report"
+)
+
+// quickSuite is the two fastest cells — enough to exercise the full
+// record/check path without paying for the whole default suite.
+func quickSuite() []Source {
+	var out []Source
+	for _, s := range DefaultSuite() {
+		if s.Name == "iris" || s.Name == "patient" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	suite := quickSuite()
+	a := Run(suite, Config{Runs: 1}, nil)
+	b := Run(suite, Config{Runs: 2}, nil)
+	if len(a.Cells) != len(suite) || len(b.Cells) != len(suite) {
+		t.Fatalf("cell counts: %d, %d", len(a.Cells), len(b.Cells))
+	}
+	// Accuracy must be bit-identical across runs and run counts; perf
+	// medians may differ.
+	for i := range a.Cells {
+		if a.Cells[i].Accuracy != b.Cells[i].Accuracy {
+			t.Errorf("%s: accuracy differs across runs:\n%+v\n%+v",
+				a.Cells[i].Dataset, a.Cells[i].Accuracy, b.Cells[i].Accuracy)
+		}
+	}
+	if a.Schema != report.SchemaVersion {
+		t.Errorf("schema = %d", a.Schema)
+	}
+}
+
+func TestDefaultSuiteShape(t *testing.T) {
+	suite := DefaultSuite()
+	if len(suite) < 10 {
+		t.Fatalf("suite has %d cells; the canonical suite should cover the registry corpora and gen profiles", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, s := range suite {
+		if seen[s.Name] {
+			t.Errorf("duplicate suite cell %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	for _, want := range []string{"iris", "abalone", "patient", "gen-fd-reduced-800x10"} {
+		if !seen[want] {
+			t.Errorf("suite missing %q", want)
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	b := Run(quickSuite(), Config{Runs: 1}, nil)
+	path := filepath.Join(t.TempDir(), "BASELINE.json")
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(b.Cells) {
+		t.Fatalf("cells: %d vs %d", len(got.Cells), len(b.Cells))
+	}
+	for i := range b.Cells {
+		if got.Cells[i].Accuracy != b.Cells[i].Accuracy {
+			t.Errorf("%s: accuracy changed across save/load", b.Cells[i].Dataset)
+		}
+	}
+}
+
+func TestLoadRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BASELINE.json")
+	b := Run(quickSuite()[:1], Config{Runs: 1}, nil)
+	b.Schema = 99
+	if err := Save(path, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("schema 99 accepted")
+	}
+}
+
+// synthetic builds a baseline by hand so Diff is testable without
+// running the engine.
+func synthetic() *Baseline {
+	return &Baseline{
+		Schema: report.SchemaVersion, Suite: "default",
+		NumCPU: 4, Workers: 0,
+		Cells: []CellResult{
+			{
+				Dataset: "d1", Rows: 100, Cols: 5,
+				Accuracy: Accuracy{TruePositives: 10, FDs: 10, TruthFDs: 10, Precision: 1, Recall: 1, F1: 1, NcoverSize: 7, Inversions: 2},
+				Perf:     Perf{Runs: 3, SamplingMS: 40, NcoverMS: 10, InversionMS: 5, TotalMS: 60},
+			},
+			{
+				Dataset: "d2", Rows: 200, Cols: 9,
+				Accuracy: Accuracy{TruePositives: 90, FalsePositives: 2, FalseNegatives: 1, FDs: 92, TruthFDs: 91, Precision: 0.978, Recall: 0.989, F1: 0.983},
+				Perf:     Perf{Runs: 3, SamplingMS: 100, NcoverMS: 30, InversionMS: 20, TotalMS: 160},
+			},
+		},
+	}
+}
+
+func clone(b *Baseline) *Baseline {
+	c := *b
+	c.Cells = append([]CellResult(nil), b.Cells...)
+	return &c
+}
+
+func TestDiffClean(t *testing.T) {
+	base := synthetic()
+	d := Diff(base, clone(base), DefaultThresholds())
+	if !d.Clean() {
+		t.Fatalf("identical baselines diffed dirty: %+v", d.Regressions)
+	}
+	if !d.PerfGated {
+		t.Error("matching machine shape should gate perf in auto mode")
+	}
+}
+
+func TestDiffAccuracyRegression(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells[1].Accuracy.TruePositives = 89
+	cur.Cells[1].Accuracy.FalseNegatives = 2
+	cur.Cells[1].Accuracy.Recall = 0.978
+	d := Diff(base, cur, DefaultThresholds())
+	if d.Clean() {
+		t.Fatal("accuracy drift not flagged")
+	}
+	fields := map[string]bool{}
+	for _, f := range d.Regressions {
+		if f.Dataset != "d2" || f.Kind != "accuracy" {
+			t.Errorf("unexpected finding %+v", f)
+		}
+		fields[f.Field] = true
+	}
+	for _, want := range []string{"tp", "fn", "recall"} {
+		if !fields[want] {
+			t.Errorf("missing regression on %s", want)
+		}
+	}
+}
+
+func TestDiffAccuracyImprovementStillGates(t *testing.T) {
+	// Exact-match gating is symmetric: an unexplained F1 increase is a
+	// behavior change and must force a re-record, not silently pass.
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells[1].Accuracy.F1 = 0.999
+	d := Diff(base, cur, DefaultThresholds())
+	if d.Clean() {
+		t.Fatal("upward accuracy drift not flagged")
+	}
+	if !strings.Contains(d.Regressions[0].Note, "re-record") {
+		t.Errorf("note should direct to re-record: %q", d.Regressions[0].Note)
+	}
+}
+
+func TestDiffPerfRegressionGated(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells[1].Perf.SamplingMS = 1000 // 10x the 100ms baseline
+	d := Diff(base, cur, DefaultThresholds())
+	if d.Clean() {
+		t.Fatal("10x sampling blowup not flagged on matching machine shape")
+	}
+	if d.Regressions[0].Field != "sampling_ms" || d.Regressions[0].Kind != "perf" {
+		t.Errorf("finding = %+v", d.Regressions[0])
+	}
+}
+
+func TestDiffPerfNoiseFloor(t *testing.T) {
+	// d1's inversion median is 5ms; tripling it to 15ms is noise, not a
+	// regression — the floor clamps the effective baseline to 25ms.
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells[0].Perf.InversionMS = 15
+	d := Diff(base, cur, DefaultThresholds())
+	if !d.Clean() {
+		t.Fatalf("sub-floor excursion flagged: %+v", d.Regressions)
+	}
+}
+
+func TestDiffPerfCPUMismatchWarnsOnly(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.NumCPU = 1 // recorded on 4 CPUs, checked on 1
+	cur.Cells[1].Perf.SamplingMS = 1000
+	d := Diff(base, cur, DefaultThresholds())
+	if !d.Clean() {
+		t.Fatalf("perf gated across machine shapes: %+v", d.Regressions)
+	}
+	if d.PerfGated {
+		t.Error("PerfGated true despite CPU mismatch")
+	}
+	if len(d.Warnings) == 0 {
+		t.Error("excursion should downgrade to a warning, not vanish")
+	}
+}
+
+func TestDiffPerfModes(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.NumCPU = 1
+	cur.Cells[1].Perf.SamplingMS = 1000
+
+	th := DefaultThresholds()
+	th.Mode = PerfGate // force gating despite the mismatch
+	if d := Diff(base, cur, th); d.Clean() {
+		t.Error("gate mode did not gate")
+	}
+	th.Mode = PerfOff
+	if d := Diff(base, cur, th); !d.Clean() || len(d.Warnings) != 0 {
+		t.Error("off mode still compared perf")
+	}
+	th.Mode = PerfWarn
+	cur.NumCPU = base.NumCPU
+	if d := Diff(base, cur, th); !d.Clean() || len(d.Warnings) == 0 {
+		t.Error("warn mode gated or stayed silent")
+	}
+}
+
+func TestDiffMissingAndNewCells(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells = cur.Cells[:1] // d2 vanished
+	d := Diff(base, cur, DefaultThresholds())
+	if d.Clean() {
+		t.Fatal("missing baseline cell not flagged")
+	}
+
+	cur = clone(base)
+	cur.Cells = append(cur.Cells, CellResult{Dataset: "d3"})
+	d = Diff(base, cur, DefaultThresholds())
+	if !d.Clean() {
+		t.Fatalf("new cell should warn, not fail: %+v", d.Regressions)
+	}
+	if len(d.Warnings) == 0 {
+		t.Error("new cell produced no warning")
+	}
+}
+
+func TestParsePerfMode(t *testing.T) {
+	for s, want := range map[string]PerfMode{"auto": PerfAuto, "gate": PerfGate, "warn": PerfWarn, "off": PerfOff} {
+		got, err := ParsePerfMode(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePerfMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePerfMode("strict"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	base := synthetic()
+	cur := clone(base)
+	cur.Cells[0].Accuracy.F1 = 0.5
+	cur.Cells[0].Accuracy.Precision = 0.5
+	d := Diff(base, cur, DefaultThresholds())
+	var buf bytes.Buffer
+	d.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"REGRESSION", "d1", "f1", "precision", "regression(s)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	d = Diff(base, clone(base), DefaultThresholds())
+	buf.Reset()
+	d.WriteTable(&buf)
+	if !strings.Contains(buf.String(), "all cells match") {
+		t.Errorf("clean table = %q", buf.String())
+	}
+}

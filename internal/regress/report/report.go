@@ -1,0 +1,97 @@
+// Package report holds the rendering and aggregation helpers shared by
+// the benchmark harness (internal/bench, cmd/fdbench) and the regression
+// harness (internal/regress, cmd/fdregress): fixed-width tables,
+// schema-versioned JSON documents, and the median aggregation used for
+// noise-tolerant wall-time baselines.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// SchemaVersion is the current version of every machine-readable JSON
+// document the harnesses emit (BENCH_*.json, BASELINE.json). Readers
+// reject documents with a different version instead of misinterpreting
+// renamed fields.
+const SchemaVersion = 1
+
+// CheckSchema validates a document's schema field against the version
+// this build understands.
+func CheckSchema(got int) error {
+	if got != SchemaVersion {
+		return fmt.Errorf("report: unsupported schema version %d (this build reads version %d)", got, SchemaVersion)
+	}
+	return nil
+}
+
+// WriteJSON writes v as indented JSON, the canonical on-disk encoding of
+// every harness document.
+func WriteJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// WriteJSONFile creates path and writes v as indented JSON.
+func WriteJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSON(f, v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Millis converts a duration to float milliseconds, the unit of every
+// per-stage timing field in the JSON documents.
+func Millis(d time.Duration) float64 { return d.Seconds() * 1000 }
+
+// Median returns the median of samples (mean of the two middle values
+// for even lengths), the noise-tolerant aggregate used for wall-time
+// baselines: a single descheduled run moves the median far less than it
+// moves the mean. Returns 0 for an empty slice.
+func Median(samples []float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Table is a minimal fixed-width table writer for paper-style output.
+type Table struct {
+	w      io.Writer
+	widths []int
+}
+
+// NewTable writes a header row and remembers column widths.
+func NewTable(w io.Writer, headers []string, widths []int) *Table {
+	t := &Table{w: w, widths: widths}
+	t.Row(headers...)
+	return t
+}
+
+// Row writes one row, padding cells to the configured widths.
+func (t *Table) Row(cells ...string) {
+	for i, c := range cells {
+		width := 12
+		if i < len(t.widths) {
+			width = t.widths[i]
+		}
+		fmt.Fprintf(t.w, "%-*s", width, c)
+	}
+	fmt.Fprintln(t.w)
+}
