@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-smoke bench-sampling regress regress-record
+.PHONY: check build vet lint test race bench-smoke bench-sampling regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -30,6 +30,12 @@ race:
 # bit-rot in the bench harness is caught without paying full bench time.
 bench-smoke:
 	$(GO) test -short -run=^$$ -bench=. -benchtime=1x ./...
+
+# Boots fdserve on a random loopback port and drives the end-to-end
+# client flow against it: submit CSV, per-cycle SSE progress, append,
+# queries, mid-run cancel (499 + slot reclaim), graceful drain.
+serve-smoke:
+	$(GO) run ./cmd/fdserve -smoke
 
 # Regenerates the committed machine-readable sampling benchmark.
 bench-sampling:

@@ -16,26 +16,19 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
-	"eulerfd/internal/aidfd"
-	"eulerfd/internal/core"
+	"eulerfd/internal/algo"
 	"eulerfd/internal/dataset"
-	"eulerfd/internal/depminer"
-	"eulerfd/internal/dfd"
-	"eulerfd/internal/fastfds"
-	"eulerfd/internal/fdep"
 	"eulerfd/internal/fdset"
-	"eulerfd/internal/fun"
-	"eulerfd/internal/hyfd"
-	"eulerfd/internal/kivinen"
 	"eulerfd/internal/metrics"
-	"eulerfd/internal/tane"
 )
 
 func main() {
@@ -55,10 +48,20 @@ func attrName(attrs []string, i int) string {
 	return fmt.Sprintf("#%d", i)
 }
 
+// algoIDs renders the registered algorithm IDs for the usage string.
+func algoIDs() string {
+	ids := algo.IDs()
+	names := make([]string, len(ids))
+	for i, id := range ids {
+		names[i] = string(id)
+	}
+	return strings.Join(names, ", ")
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("fddiscover", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", "euler", "algorithm: euler, aidfd, hyfd, tane, fun, dfd, fdep, depminer, fastfds, kivinen")
+	algoFlag := fs.String("algo", "euler", "algorithm: "+algoIDs())
 	sep := fs.String("sep", ",", "field separator")
 	noHeader := fs.Bool("no-header", false, "treat the first row as data")
 	th := fs.Float64("th", 0.01, "growth-rate threshold (euler, aidfd)")
@@ -92,59 +95,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	start := time.Now()
-	var fds *fdset.Set
-	var detail string
-	switch *algo {
-	case "euler":
-		o := core.DefaultOptions()
-		o.ThNcover, o.ThPcover = *th, *th
-		o.NumQueues = *queues
-		o.ExhaustWindows = *exhaustive
-		o.Workers = *workers
-		var st core.Stats
-		fds, st, err = core.Discover(rel, o)
-		detail = st.String()
-	case "aidfd":
-		var st aidfd.Stats
-		fds, st, err = aidfd.Discover(rel, aidfd.Options{ThNcover: *th})
-		detail = fmt.Sprintf("pairs=%d rounds=%d ncover=%d", st.PairsCompared, st.Rounds, st.NcoverSize)
-	case "hyfd":
-		var st hyfd.Stats
-		fds, st, err = hyfd.Discover(rel, hyfd.DefaultOptions())
-		detail = fmt.Sprintf("pairs=%d validations=%d switchbacks=%d", st.PairsCompared, st.Validations, st.SwitchBacks)
-	case "tane":
-		var st tane.Stats
-		fds, st, err = tane.Discover(rel)
-		detail = fmt.Sprintf("levels=%d nodes=%d", st.Levels, st.NodesVisited)
-	case "fdep":
-		var st fdep.Stats
-		fds, st, err = fdep.Discover(rel)
-		detail = fmt.Sprintf("pairs=%d agreeSets=%d", st.PairsCompared, st.AgreeSets)
-	case "fun":
-		var st fun.Stats
-		fds, st, err = fun.Discover(rel)
-		detail = fmt.Sprintf("freeSets=%d levels=%d", st.FreeSets, st.Levels)
-	case "dfd":
-		var st dfd.Stats
-		fds, st, err = dfd.Discover(rel)
-		detail = fmt.Sprintf("validations=%d walkSteps=%d restarts=%d", st.Validations, st.WalkSteps, st.Restarts)
-	case "depminer":
-		var st depminer.Stats
-		fds, st, err = depminer.Discover(rel)
-		detail = fmt.Sprintf("agreeSets=%d maxSets=%d levels=%d", st.AgreeSets, st.MaxSets, st.Levels)
-	case "fastfds":
-		var st fastfds.Stats
-		fds, st, err = fastfds.Discover(rel)
-		detail = fmt.Sprintf("diffSets=%d searchNodes=%d", st.DiffSets, st.SearchNodes)
-	case "kivinen":
-		var st kivinen.Stats
-		fds, st, err = kivinen.Discover(rel, kivinen.DefaultOptions())
-		detail = fmt.Sprintf("sample=%d agreeSets=%d", st.SampleSize, st.AgreeSets)
-	default:
-		fmt.Fprintf(stderr, "fddiscover: unknown algorithm %q\n", *algo)
+	id := algo.ID(*algoFlag)
+	if _, ok := algo.Lookup(id); !ok {
+		fmt.Fprintf(stderr, "fddiscover: unknown algorithm %q (have: %s)\n", *algoFlag, algoIDs())
 		return 2
 	}
+	tun := algo.DefaultTuning()
+	tun.Euler.ThNcover, tun.Euler.ThPcover = *th, *th
+	tun.Euler.NumQueues = *queues
+	tun.Euler.ExhaustWindows = *exhaustive
+	tun.Euler.Workers = *workers
+	tun.AIDFD.ThNcover = *th
+
+	start := time.Now()
+	fds, detail, err := algo.Run(context.Background(), id, rel, tun)
 	if err != nil {
 		fmt.Fprintln(stderr, "fddiscover:", err)
 		return 1
@@ -188,10 +152,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *stats {
 		fmt.Fprintf(stderr, "%s: %d rows × %d cols, %d FDs in %s (%s)\n",
-			*algo, rel.NumRows(), rel.NumCols(), fds.Len(), elapsed.Round(time.Microsecond), detail)
+			id, rel.NumRows(), rel.NumCols(), fds.Len(), elapsed.Round(time.Microsecond), detail)
 	}
 	if *check {
-		truth, _, err := hyfd.Discover(rel, hyfd.DefaultOptions())
+		truth, _, err := algo.Run(context.Background(), algo.HyFD, rel, algo.DefaultTuning())
 		if err != nil {
 			fmt.Fprintln(stderr, "fddiscover: oracle:", err)
 			return 1

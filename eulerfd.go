@@ -19,24 +19,25 @@
 // orders of magnitude faster than exact discovery on large relations.
 // Use Exact for a guaranteed-exact answer (HyFD under the hood), or set
 // Options.ExhaustWindows to make EulerFD itself exhaustive.
+//
+// Every discoverer is registered under a stable AlgoID: Algorithms lists
+// them and DiscoverWith(ctx, id, rel) dispatches by ID. The Context
+// variants (DiscoverContext, ExactContext) honor cancellation
+// cooperatively at algorithm stage boundaries, so a run that completes
+// is identical to an uncancelled one; cmd/fdserve builds an HTTP
+// discovery service on top of them.
 package eulerfd
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"eulerfd/internal/aidfd"
+	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
-	"eulerfd/internal/depminer"
-	"eulerfd/internal/dfd"
-	"eulerfd/internal/fastfds"
-	"eulerfd/internal/fdep"
 	"eulerfd/internal/fdset"
-	"eulerfd/internal/fun"
-	"eulerfd/internal/hyfd"
 	"eulerfd/internal/infer"
-	"eulerfd/internal/kivinen"
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
 	"eulerfd/internal/tane"
@@ -61,9 +62,37 @@ type (
 	Options = core.Options
 	// Stats describes the work performed by a discovery run.
 	Stats = core.Stats
+	// Progress is a point-in-time snapshot of a running discovery,
+	// emitted at cycle boundaries.
+	Progress = core.Progress
+	// Observer receives Progress snapshots during a discovery run.
+	Observer = core.Observer
 	// Accuracy reports precision/recall/F1 against a reference FD set.
 	Accuracy = metrics.Result
+	// AlgoID names a registered discovery algorithm.
+	AlgoID = algo.ID
+	// AlgoInfo describes a registered discovery algorithm.
+	AlgoInfo = algo.Info
 )
+
+// Registered algorithm IDs, usable with DiscoverWith and ExactContext.
+const (
+	AlgoEuler    = algo.Euler
+	AlgoHyFD     = algo.HyFD
+	AlgoTANE     = algo.TANE
+	AlgoFun      = algo.Fun
+	AlgoDfd      = algo.Dfd
+	AlgoFdep     = algo.Fdep
+	AlgoDepMiner = algo.DepMiner
+	AlgoFastFDs  = algo.FastFDs
+	AlgoAIDFD    = algo.AIDFD
+	AlgoKivinen  = algo.Kivinen
+)
+
+// Algorithms lists every registered discovery algorithm in a stable
+// presentation order: EulerFD first, then the exact methods, then the
+// approximate baselines.
+func Algorithms() []AlgoInfo { return algo.List() }
 
 // NewFD builds an FD from LHS attribute indices and an RHS attribute.
 func NewFD(lhs []int, rhs int) FD { return fdset.NewFD(lhs, rhs) }
@@ -100,10 +129,17 @@ func WriteCSVFile(path string, r *Relation) error {
 }
 
 // Result is the outcome of a discovery run: the minimal non-trivial FDs
-// found and execution statistics.
+// found and execution statistics. The json tags define the wire shape
+// shared by fddiscover -json, the fdserve HTTP service, and the
+// benchmark artifacts: FDs serialize as {"lhs":[indices],"rhs":index}
+// objects and Stats durations as integer nanoseconds.
 type Result struct {
-	FDs   *Set
-	Stats Stats
+	// Algo is the registry ID of the algorithm that produced the result.
+	Algo AlgoID `json:"algo,omitempty"`
+	// FDs holds the minimal non-trivial dependencies found.
+	FDs *Set `json:"fds"`
+	// Stats describes the work performed.
+	Stats Stats `json:"stats"`
 }
 
 // Incremental maintains an EulerFD result across appended row batches —
@@ -119,60 +155,89 @@ func NewIncremental(name string, attrs []string, opt Options) (*Incremental, err
 
 // Discover runs EulerFD on a relation with the given options.
 func Discover(rel *Relation, opt Options) (Result, error) {
-	fds, stats, err := core.Discover(rel, opt)
+	return DiscoverContext(context.Background(), rel, opt)
+}
+
+// DiscoverContext runs EulerFD under a context. Cancellation is
+// cooperative: it is honored at cycle boundaries, so a run that
+// completes is byte-for-byte identical to an uncancelled one, and a
+// context that is already done returns ctx.Err() before any sampling.
+func DiscoverContext(ctx context.Context, rel *Relation, opt Options) (Result, error) {
+	return DiscoverObserved(ctx, rel, opt, nil)
+}
+
+// DiscoverObserved is DiscoverContext with a Progress observer invoked
+// synchronously at cycle boundaries; obs may be nil.
+func DiscoverObserved(ctx context.Context, rel *Relation, opt Options, obs Observer) (Result, error) {
+	fds, stats, err := core.DiscoverContext(ctx, rel, opt, obs)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{FDs: fds, Stats: stats}, nil
+	return Result{Algo: AlgoEuler, FDs: fds, Stats: stats}, nil
+}
+
+// DiscoverWith dispatches discovery through the algorithm registry with
+// each algorithm's default configuration. Cancellation is cooperative,
+// as in DiscoverContext.
+func DiscoverWith(ctx context.Context, id AlgoID, rel *Relation) (*Set, error) {
+	fds, _, err := algo.Run(ctx, id, rel, algo.DefaultTuning())
+	return fds, err
+}
+
+// ExactContext returns the exact set of minimal non-trivial FDs using
+// the registered exact algorithm id. It refuses approximate IDs (use
+// DiscoverWith for those).
+func ExactContext(ctx context.Context, rel *Relation, id AlgoID) (*Set, error) {
+	info, ok := algo.Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("eulerfd: unknown algorithm %q", id)
+	}
+	if !info.Exact {
+		return nil, fmt.Errorf("eulerfd: algorithm %q is approximate, not exact", id)
+	}
+	return DiscoverWith(ctx, id, rel)
 }
 
 // Exact returns the exact set of minimal non-trivial FDs using the HyFD
 // hybrid algorithm, the fastest exact method in this library.
 func Exact(rel *Relation) (*Set, error) {
-	fds, _, err := hyfd.Discover(rel, hyfd.DefaultOptions())
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoHyFD)
 }
 
 // ExactTANE returns the exact FD set via level-wise lattice traversal.
 // It scales well in rows but poorly in columns; exposed mainly for
 // cross-checking and benchmarking.
 func ExactTANE(rel *Relation) (*Set, error) {
-	fds, _, err := tane.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoTANE)
 }
 
 // ExactFdep returns the exact FD set via full pairwise induction. It
 // scales well in columns but quadratically in rows.
 func ExactFdep(rel *Relation) (*Set, error) {
-	fds, _, err := fdep.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoFdep)
 }
 
 // ExactDfd returns the exact FD set via depth-first random-walk lattice
 // traversal (Dfd).
 func ExactDfd(rel *Relation) (*Set, error) {
-	fds, _, err := dfd.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoDfd)
 }
 
 // ExactFun returns the exact FD set via free-set lattice traversal (Fun).
 func ExactFun(rel *Relation) (*Set, error) {
-	fds, _, err := fun.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoFun)
 }
 
 // ExactDepMiner returns the exact FD set via agree-set maximization and
 // levelwise minimal-transversal search (Dep-Miner).
 func ExactDepMiner(rel *Relation) (*Set, error) {
-	fds, _, err := depminer.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoDepMiner)
 }
 
 // ExactFastFDs returns the exact FD set via depth-first minimal-cover
 // search over difference sets (FastFDs).
 func ExactFastFDs(rel *Relation) (*Set, error) {
-	fds, _, err := fastfds.Discover(rel)
-	return fds, err
+	return ExactContext(context.Background(), rel, AlgoFastFDs)
 }
 
 // DiscoverTolerant finds the minimal dependencies violated by at most a
@@ -191,15 +256,13 @@ func DiscoverTolerant(rel *Relation, maxErr float64) (*Set, error) {
 
 // ApproxAIDFD runs the AID-FD baseline with its default threshold.
 func ApproxAIDFD(rel *Relation) (*Set, error) {
-	fds, _, err := aidfd.Discover(rel, aidfd.DefaultOptions())
-	return fds, err
+	return DiscoverWith(context.Background(), AlgoAIDFD, rel)
 }
 
 // ApproxKivinen runs the Kivinen-Mannila random-pair sampler with its
 // default accuracy and confidence parameters.
 func ApproxKivinen(rel *Relation) (*Set, error) {
-	fds, _, err := kivinen.Discover(rel, kivinen.DefaultOptions())
-	return fds, err
+	return DiscoverWith(context.Background(), AlgoKivinen, rel)
 }
 
 // Evaluate scores a discovered FD set against a reference (typically from

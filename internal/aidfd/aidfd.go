@@ -11,6 +11,7 @@
 package aidfd
 
 import (
+	"context"
 	"time"
 
 	"eulerfd/internal/cover"
@@ -45,21 +46,35 @@ type Stats struct {
 
 // Discover returns the approximate set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel, opt)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked between sampling rounds.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel), opt)
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel), opt)
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc, opt)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	ncols := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: ncols}
 	if ncols == 0 {
 		stats.Total = time.Since(start)
-		return fdset.NewSet(), stats
+		return fdset.NewSet(), stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	clusters := enc.AllClusters()
@@ -116,6 +131,9 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	batch = batch[:0]
 
 	for window := 3; window <= maxWindow; window++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		if opt.MaxRounds > 0 && stats.Rounds >= opt.MaxRounds {
 			break
 		}
@@ -144,7 +162,7 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 func expand(agrees []fdset.AttrSet, ncols int) []fdset.FD {

@@ -161,19 +161,23 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 // GatedPackage reports whether pkgPath is one of the determinism-gated
 // packages that maporder and nondeterm police: the EulerFD result path
 // (root API, core engine, covers, preprocessing, value types, worker
-// pool). Analyzer fixture packages under a testdata directory are always
-// gated so analysistest suites exercise the checks.
+// pool), the algorithm registry, and the HTTP service (whose responses
+// must be replayable: counter-based IDs, creation-order listings, no
+// wall-clock reads). Analyzer fixture packages under a testdata
+// directory are always gated so analysistest suites exercise the checks.
 func GatedPackage(pkgPath string) bool {
 	if strings.Contains(pkgPath, "testdata") {
 		return true
 	}
 	switch pkgPath {
 	case "eulerfd",
+		"eulerfd/internal/algo",
 		"eulerfd/internal/core",
 		"eulerfd/internal/cover",
 		"eulerfd/internal/preprocess",
 		"eulerfd/internal/fdset",
-		"eulerfd/internal/pool":
+		"eulerfd/internal/pool",
+		"eulerfd/internal/serve":
 		return true
 	}
 	return false

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
@@ -15,27 +16,32 @@ import (
 
 // Options configures EulerFD. The zero value is not meaningful; use
 // DefaultOptions (the paper's settings) and override fields as needed.
+// Each field documents its legal range; Validate enforces them, and the
+// context-aware entry points refuse to run on an invalid configuration.
 type Options struct {
 	// ThNcover is the growth-rate threshold of the first cycle: while
 	// GR_Ncover exceeds it, EulerFD keeps sampling before inverting.
-	// Paper default 0.01.
+	// Legal range: ≥ 0 (0 samples to exhaustion). Paper default 0.01.
 	ThNcover float64
 	// ThPcover is the growth-rate threshold of the second cycle: while
 	// GR_Pcover exceeds it, EulerFD returns to sampling after inversion.
-	// Paper default 0.01.
+	// Legal range: ≥ 0 (0 cycles until no growth). Paper default 0.01.
 	ThPcover float64
-	// NumQueues is the MLFQ depth (Table IV). Paper default 6.
+	// NumQueues is the MLFQ depth (Table IV). Legal range: ≥ 1, with 0
+	// selecting the paper default 6.
 	NumQueues int
 	// RecentPasses is how many recent pass capas the requeue decision
-	// averages over. Default 3.
+	// averages over. Legal range: ≥ 1, with 0 selecting the default 3.
 	RecentPasses int
 	// BatchPairs bounds the pair comparisons of one internal sampling
 	// batch. The unit of the double cycle is a full MLFQ drain (Algorithm
 	// 1 runs until no cluster remains enqueued); BatchPairs only sizes
-	// the internal slices of a drain. 0 means effectively unbounded.
+	// the internal slices of a drain. Legal range: ≥ 0, with 0 meaning
+	// effectively unbounded.
 	BatchPairs int
-	// MaxCycles caps second-cycle iterations as a safety valve; 0 means
-	// no cap (termination is then guaranteed by sampler exhaustion).
+	// MaxCycles caps second-cycle iterations as a safety valve. Legal
+	// range: ≥ 0, with 0 meaning no cap (termination is then guaranteed
+	// by sampler exhaustion).
 	MaxCycles int
 	// ExhaustWindows disables capa-based cluster parking: every cluster
 	// stays in the MLFQ until all of its window sizes are consumed. With
@@ -44,11 +50,11 @@ type Options struct {
 	ExhaustWindows bool
 	// Workers is the degree of parallelism of the engine: one persistent
 	// worker pool runs sampling-pass chunks, negative-cover admission
-	// shards, and inversion shards. 0 (the default) means
-	// runtime.NumCPU(); Workers = 1 forces the paper's sequential
-	// execution. The result is identical for every value — sampling
-	// chunks merge in sweep order and per-RHS covers are independent —
-	// so parallelism is purely a wall-clock knob.
+	// shards, and inversion shards. Legal range: ≥ 0, where 0 (the
+	// default) means runtime.NumCPU() and Workers = 1 forces the paper's
+	// sequential execution. The result is identical for every value —
+	// sampling chunks merge in sweep order and per-RHS covers are
+	// independent — so parallelism is purely a wall-clock knob.
 	Workers int
 	// DynamicCapaRanges enables runtime revision of the MLFQ capa ranges
 	// — the extension the paper's conclusion proposes as future work.
@@ -88,26 +94,71 @@ func (o Options) withDefaults(numRows int) Options {
 }
 
 // Stats reports what a discovery run did, for the experiment harness and
-// for diagnosing threshold settings.
+// for diagnosing threshold settings. The json tags are the stable wire
+// shape shared by fdserve, fddiscover -json, and the bench/regress
+// documents; durations are serialized as integer nanoseconds (Go's
+// time.Duration encoding) under *_ns keys.
 type Stats struct {
-	Rows, Cols    int
-	PairsCompared int
-	AgreeSets     int // distinct agree sets sampled
-	NcoverSize    int // maximal non-FDs stored
-	PcoverSize    int // minimal FDs output
-	SampleBatches int
-	Inversions    int // second-cycle iterations
-	Preprocess    time.Duration
-	Sampling      time.Duration
-	NcoverBuild   time.Duration
-	Inversion     time.Duration
-	Total         time.Duration
+	Rows          int           `json:"rows"`
+	Cols          int           `json:"cols"`
+	PairsCompared int           `json:"pairs_compared"`
+	AgreeSets     int           `json:"agree_sets"`  // distinct agree sets sampled
+	NcoverSize    int           `json:"ncover_size"` // maximal non-FDs stored
+	PcoverSize    int           `json:"pcover_size"` // minimal FDs output
+	SampleBatches int           `json:"sample_batches"`
+	Inversions    int           `json:"inversions"` // second-cycle iterations
+	Preprocess    time.Duration `json:"preprocess_ns"`
+	Sampling      time.Duration `json:"sampling_ns"`
+	NcoverBuild   time.Duration `json:"ncover_build_ns"`
+	Inversion     time.Duration `json:"inversion_ns"`
+	Total         time.Duration `json:"total_ns"`
 }
 
+// Progress is a snapshot of a running discovery, delivered to an
+// Observer at every double-cycle stage boundary: once after each
+// sampling drain has been admitted into the negative cover (Phase
+// "sampled") and once after each inversion into the positive cover
+// (Phase "inverted"). Every completed run emits at least one of each.
+type Progress struct {
+	// Phase is "sampled" after a drain or "inverted" after an inversion.
+	Phase string `json:"phase"`
+	// Cycle is the zero-based double-cycle iteration the run is in.
+	Cycle         int `json:"cycle"`
+	Rows          int `json:"rows"`
+	Cols          int `json:"cols"`
+	PairsCompared int `json:"pairs_compared"`
+	AgreeSets     int `json:"agree_sets"`
+	NcoverSize    int `json:"ncover_size"`
+	PcoverSize    int `json:"pcover_size"`
+	SampleBatches int `json:"sample_batches"`
+	Inversions    int `json:"inversions"`
+}
+
+// Observer receives Progress snapshots from a running discovery. It is
+// called synchronously on the discovery goroutine between double-cycle
+// stages, so a slow observer slows the run but can never race it; a nil
+// Observer is skipped entirely and the observed run computes the exact
+// same result as an unobserved one.
+type Observer func(Progress)
+
 // Discover runs EulerFD on a relation and returns the approximate set of
-// minimal, non-trivial FDs.
+// minimal, non-trivial FDs. It is DiscoverContext without cancellation
+// or progress reporting.
 func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel, opt, nil)
+}
+
+// DiscoverContext runs EulerFD on a relation under a context, reporting
+// per-cycle progress to obs (which may be nil). Cancellation is
+// cooperative and checked only between double-cycle stages, so a run
+// that completes is bit-identical to an uncancelled one; a run whose
+// context is cancelled returns ctx.Err() with a nil FD set. An already
+// cancelled context returns before the first sampling pass.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, opt Options, obs Observer) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := opt.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
 	start := timing.Start()
@@ -118,22 +169,45 @@ func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	// preprocessing and could go negative across monotonic-clock
 	// adjustments.
 	start.SetTo(&pre)
-	fds, stats := DiscoverEncoded(enc, opt)
+	fds, stats, err := DiscoverEncodedContext(ctx, enc, opt, obs)
 	stats.Preprocess = pre
 	start.SetTo(&stats.Total)
+	if err != nil {
+		return nil, stats, err
+	}
 	return fds, stats, nil
 }
 
 // DiscoverEncoded runs EulerFD on an already-encoded relation. It is the
 // entry point used by the benchmark harness, which pre-encodes datasets so
-// that per-algorithm timings exclude shared preprocessing.
+// that per-algorithm timings exclude shared preprocessing. It panics on
+// invalid options; use DiscoverEncodedContext for an error return.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	fds, stats, err := DiscoverEncodedContext(context.Background(), enc, opt, nil)
+	if err != nil {
+		// Background contexts never cancel, so the only possible error is
+		// an invalid Options value.
+		panic(err)
+	}
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Options, obs Observer) (*fdset.Set, Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, Stats{}, err
+	}
 	encStart := timing.Start()
 	opt = opt.withDefaults(enc.NumRows)
 	ncols := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: ncols}
 	if ncols == 0 {
-		return fdset.NewSet(), stats
+		return fdset.NewSet(), stats, nil
+	}
+	// Cancellation contract: an already-cancelled context aborts before
+	// the first sampling pass compares a single pair.
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	// One persistent pool serves every parallel stage of the run: sampling
@@ -184,15 +258,19 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	ncover := cover.NewNCover(ncols, rank)
 	pcover := cover.NewPCover(ncols, rank)
 
-	runDoubleCycle(opt, sampler, ncover, pcover, seed, first, ncols, drain, pl, &stats)
+	err := runDoubleCycle(ctx, opt, sampler, ncover, pcover, seed, first, ncols, drain, pl, &stats, obs)
 
 	stats.PairsCompared = sampler.PairsCompared
 	stats.AgreeSets = len(sampler.seen)
 	stats.NcoverSize = ncover.Size()
+	stats.PcoverSize = pcover.Size()
+	encStart.SetTo(&stats.Total)
+	if err != nil {
+		return nil, stats, err
+	}
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
-	encStart.SetTo(&stats.Total)
-	return out, stats
+	return out, stats, nil
 }
 
 // runDoubleCycle is the shared engine of Figure 1: it admits evidence into
@@ -201,8 +279,15 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 // seed and first are evidence batches admitted before the first inversion;
 // drain runs the sampler to queue exhaustion and reports new agree sets.
 // Both one-shot discovery and incremental appends drive this function.
-func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover *cover.PCover,
-	seed, first []fdset.FD, ncols int, drain func() []fdset.AttrSet, pl *pool.Pool, stats *Stats) {
+//
+// Cancellation is checked only at stage boundaries — before each drain
+// and after each inversion — never inside one, so a run that returns nil
+// performed exactly the work an uncancelled run would have (determinism
+// invariant I4 is unaffected). Progress snapshots go to obs at the same
+// boundaries: "sampled" after a drain's evidence is admitted, "inverted"
+// after an inversion.
+func runDoubleCycle(ctx context.Context, opt Options, sampler *Sampler, ncover *cover.NCover, pcover *cover.PCover,
+	seed, first []fdset.FD, ncols int, drain func() []fdset.AttrSet, pl *pool.Pool, stats *Stats, obs Observer) error {
 	// pending holds non-FDs admitted to the Ncover but not yet inverted.
 	// Entries superseded by a later specialization before their inversion
 	// are dropped: inverting them would only spawn candidates that the
@@ -220,19 +305,41 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 		t.AddTo(&stats.NcoverBuild)
 		return added
 	}
+	emit := func(phase string, cycle int) {
+		if obs == nil {
+			return
+		}
+		obs(Progress{
+			Phase:         phase,
+			Cycle:         cycle,
+			Rows:          stats.Rows,
+			Cols:          stats.Cols,
+			PairsCompared: sampler.PairsCompared,
+			AgreeSets:     len(sampler.seen),
+			NcoverSize:    ncover.Size(),
+			PcoverSize:    pcover.Size(),
+			SampleBatches: stats.SampleBatches,
+			Inversions:    stats.Inversions,
+		})
+	}
 	lastBefore := ncover.Size()
 	addBatch(seed)
 	lastAdded := addBatch(first)
+	emit("sampled", 0)
 
 	for cycle := 0; ; cycle++ {
 		// First cycle: keep draining the sampler while the negative cover
 		// still grows faster than Th_Ncover per drain.
 		for growthRate(lastAdded, lastBefore) > opt.ThNcover {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if !sampler.Reseed() {
 				break
 			}
 			lastBefore = ncover.Size()
 			lastAdded = addBatch(nonFDsOf(drain(), ncols))
+			emit("sampled", cycle)
 		}
 
 		// Inversion: fold the pending non-FDs into the positive cover,
@@ -248,6 +355,10 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 		t.AddTo(&stats.Inversion)
 		stats.Inversions++
 		clear(pending)
+		emit("inverted", cycle)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 
 		grP := growthRate(addedP, beforeP)
 		if grP <= opt.ThPcover && (!opt.ExhaustWindows || sampler.Exhausted()) {
@@ -265,7 +376,9 @@ func runDoubleCycle(opt Options, sampler *Sampler, ncover *cover.NCover, pcover 
 		}
 		lastBefore = ncover.Size()
 		lastAdded = addBatch(nonFDsOf(drain(), ncols))
+		emit("sampled", cycle+1)
 	}
+	return nil
 }
 
 // nonFDsOf expands agree sets into the non-FDs they witness: agree ↛ a for

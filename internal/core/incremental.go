@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"eulerfd/internal/cover"
@@ -32,10 +33,14 @@ type Incremental struct {
 	Appends int
 }
 
-// NewIncremental prepares incremental discovery over a schema.
+// NewIncremental prepares incremental discovery over a schema. It
+// validates opt and returns a *OptionError on an out-of-range field.
 func NewIncremental(name string, attrs []string, opt Options) (*Incremental, error) {
 	if len(attrs) > fdset.MaxAttrs {
 		return nil, fmt.Errorf("core: %d attributes exceed the %d-attribute limit", len(attrs), fdset.MaxAttrs)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
 	}
 	opt = opt.withDefaults(0)
 	ncols := len(attrs)
@@ -56,9 +61,24 @@ func NewIncremental(name string, attrs []string, opt Options) (*Incremental, err
 func (inc *Incremental) NumRows() int { return inc.encoder.NumRows() }
 
 // Append folds a batch of rows into the result and returns run statistics
-// for the batch.
+// for the batch. It is AppendContext without cancellation or progress.
 func (inc *Incremental) Append(rows [][]string) (Stats, error) {
+	return inc.AppendContext(context.Background(), rows, nil)
+}
+
+// AppendContext folds a batch of rows into the result under a context,
+// reporting per-cycle progress to obs (which may be nil). Cancellation
+// is cooperative, checked between double-cycle stages. A cancelled
+// append leaves the Incremental with the batch's rows absorbed but its
+// covers only partially updated; the state is still internally
+// consistent, but the result no longer reflects a completed run, so
+// callers that cancel should discard the Incremental (fdserve marks the
+// whole session cancelled and rejects further appends).
+func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs Observer) (Stats, error) {
 	start := timing.Start()
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
 	if err := inc.encoder.Append(rows); err != nil {
 		return Stats{}, err
 	}
@@ -105,14 +125,14 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 	}
 
 	first := nonFDsOf(drain(), inc.ncols)
-	runDoubleCycle(inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, pl, &stats)
+	err := runDoubleCycle(ctx, inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, pl, &stats, obs)
 
 	stats.PairsCompared = sampler.PairsCompared
 	stats.AgreeSets = len(sampler.seen)
 	stats.NcoverSize = inc.ncover.Size()
 	stats.PcoverSize = inc.pcover.Size()
 	start.SetTo(&stats.Total)
-	return stats, nil
+	return stats, err
 }
 
 // FDs returns the current approximate set of minimal non-trivial FDs.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptionError reports an Options field whose value is outside its legal
+// range. It names the offending field so callers (CLI flag parsing, the
+// fdserve request validator) can point at the exact input to fix.
+type OptionError struct {
+	Field  string // Options field name, e.g. "NumQueues"
+	Value  any    // the rejected value
+	Reason string // why it is invalid, e.g. "must be ≥ 0"
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("core: invalid Options.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks every Options field against its documented legal range
+// and returns a *OptionError naming the first offending field, or nil.
+// The zero value of a field always means "use the default" and is legal;
+// Validate rejects values that cannot be interpreted at all (negative
+// thresholds or counts, NaN). Discover, DiscoverContext, and
+// NewIncremental call Validate and refuse to run on an invalid
+// configuration instead of silently clamping it.
+func (o Options) Validate() error {
+	if math.IsNaN(o.ThNcover) || o.ThNcover < 0 {
+		return &OptionError{Field: "ThNcover", Value: o.ThNcover, Reason: "growth-rate threshold must be ≥ 0"}
+	}
+	if math.IsNaN(o.ThPcover) || o.ThPcover < 0 {
+		return &OptionError{Field: "ThPcover", Value: o.ThPcover, Reason: "growth-rate threshold must be ≥ 0"}
+	}
+	if o.NumQueues < 0 {
+		return &OptionError{Field: "NumQueues", Value: o.NumQueues, Reason: "MLFQ depth must be ≥ 1 (0 selects the default)"}
+	}
+	if o.RecentPasses < 0 {
+		return &OptionError{Field: "RecentPasses", Value: o.RecentPasses, Reason: "pass window must be ≥ 1 (0 selects the default)"}
+	}
+	if o.BatchPairs < 0 {
+		return &OptionError{Field: "BatchPairs", Value: o.BatchPairs, Reason: "pair quota must be ≥ 0 (0 means unbounded)"}
+	}
+	if o.MaxCycles < 0 {
+		return &OptionError{Field: "MaxCycles", Value: o.MaxCycles, Reason: "cycle cap must be ≥ 0 (0 means uncapped)"}
+	}
+	if o.Workers < 0 {
+		return &OptionError{Field: "Workers", Value: o.Workers, Reason: "worker count must be ≥ 0 (0 means all CPU cores)"}
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 package depminer
 
 import (
+	"context"
 	"time"
 
 	"eulerfd/internal/dataset"
@@ -32,28 +33,46 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked per row block during agree-set collection and
+// between per-RHS transversal searches.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel))
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	m := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: m}
 	out := fdset.NewSet()
 	if m == 0 {
 		stats.Total = time.Since(start)
-		return out, stats
+		return out, stats, nil
 	}
 
-	agrees := agreeSets(enc, &stats)
+	agrees, err := agreeSets(ctx, enc, &stats)
+	if err != nil {
+		return nil, stats, err
+	}
 	stats.AgreeSets = len(agrees)
 
 	for rhs := 0; rhs < m; rhs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		maxSets := maximalAgreeSetsWithout(agrees, rhs)
 		stats.MaxSets += len(maxSets)
 		// Each maximal agree set ag contributes the constraint that a
@@ -73,15 +92,19 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 // agreeSets collects the distinct agree sets of all row pairs. The empty
-// agree set is included when two rows disagree everywhere.
-func agreeSets(enc *preprocess.Encoded, stats *Stats) []fdset.AttrSet {
+// agree set is included when two rows disagree everywhere. The quadratic
+// pair scan checks ctx once per outer row.
+func agreeSets(ctx context.Context, enc *preprocess.Encoded, stats *Stats) ([]fdset.AttrSet, error) {
 	seen := make(map[fdset.AttrSet]struct{})
 	var out []fdset.AttrSet
 	for i := 0; i < enc.NumRows; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for j := i + 1; j < enc.NumRows; j++ {
 			stats.PairsCompared++
 			a := enc.AgreeSet(i, j)
@@ -91,7 +114,7 @@ func agreeSets(enc *preprocess.Encoded, stats *Stats) []fdset.AttrSet {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // maximalAgreeSetsWithout returns the ⊆-maximal agree sets that do not

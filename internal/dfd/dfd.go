@@ -14,6 +14,7 @@
 package dfd
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
@@ -35,11 +36,16 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked between per-RHS lattice walks.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel))
 }
 
 // rhsSearch is the per-RHS walk state.
@@ -58,6 +64,12 @@ type rhsSearch struct {
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	m := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: m}
@@ -66,6 +78,9 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	// repeat between attributes.
 	parts := preprocess.NewPartitionCache(enc, 4096)
 	for rhs := 0; rhs < m; rhs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		s := &rhsSearch{
 			enc: enc, rhs: rhs, m: m, parts: parts,
 			// Deterministic per-RHS walks: reproducible runs.
@@ -83,7 +98,7 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	}
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 // isDep classifies a node, validating against the data only when the

@@ -12,6 +12,7 @@
 package fastfds
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -33,28 +34,43 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked per row block during agree-set collection and
+// between per-RHS cover searches.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel))
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	m := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: m}
 	out := fdset.NewSet()
 	if m == 0 {
 		stats.Total = time.Since(start)
-		return out, stats
+		return out, stats, nil
 	}
 
 	// Distinct agree sets once; per-RHS difference sets derive from them.
 	seen := make(map[fdset.AttrSet]struct{})
 	var agrees []fdset.AttrSet
 	for i := 0; i < enc.NumRows; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		for j := i + 1; j < enc.NumRows; j++ {
 			stats.PairsCompared++
 			a := enc.AgreeSet(i, j)
@@ -67,6 +83,9 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	stats.AgreeSets = len(agrees)
 
 	for rhs := 0; rhs < m; rhs++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		diffs := differenceSets(agrees, m, rhs)
 		stats.DiffSets += len(diffs)
 		if len(diffs) == 0 {
@@ -80,7 +99,7 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 // differenceSets returns the minimal difference sets for one RHS: the

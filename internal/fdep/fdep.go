@@ -9,6 +9,7 @@
 package fdep
 
 import (
+	"context"
 	"time"
 
 	"eulerfd/internal/cover"
@@ -29,21 +30,33 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked once per base row of the quadratic pairwise
+// induction sweep.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel))
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	ncols := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: ncols}
 	if ncols == 0 {
 		stats.Total = time.Since(start)
-		return fdset.NewSet(), stats
+		return fdset.NewSet(), stats, nil
 	}
 
 	// Pairwise comparison: collect every distinct agree set. The disagree
@@ -59,6 +72,9 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	}
 	buf := make([]fdset.AttrSet, enc.NumRows)
 	for i := 0; i < enc.NumRows; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		others := rest[i+1:]
 		enc.AgreeSetsInto(i, others, buf)
 		stats.PairsCompared += len(others)
@@ -92,5 +108,5 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }

@@ -1,0 +1,63 @@
+package fdset
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// fdWire is the JSON shape of one FD: attribute indices, not names
+// (resolve names against a schema at a higher layer, e.g. eulerfd.Docs).
+type fdWire struct {
+	LHS []int `json:"lhs"`
+	RHS int   `json:"rhs"`
+}
+
+// MarshalJSON encodes the FD as {"lhs":[indices...],"rhs":index} with the
+// LHS in ascending order (Attrs order), so equal FDs always serialize to
+// equal bytes.
+func (f FD) MarshalJSON() ([]byte, error) {
+	w := fdWire{LHS: f.LHS.Attrs(), RHS: f.RHS}
+	if w.LHS == nil {
+		w.LHS = []int{}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire shape written by MarshalJSON.
+func (f *FD) UnmarshalJSON(data []byte) error {
+	var w fdWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	for _, a := range w.LHS {
+		if a < 0 || a >= MaxAttrs {
+			return fmt.Errorf("fdset: LHS attribute index %d out of range [0,%d)", a, MaxAttrs)
+		}
+	}
+	if w.RHS < 0 || w.RHS >= MaxAttrs {
+		return fmt.Errorf("fdset: RHS attribute index %d out of range [0,%d)", w.RHS, MaxAttrs)
+	}
+	*f = NewFD(w.LHS, w.RHS)
+	return nil
+}
+
+// MarshalJSON encodes the set as an array of FDs in Slice order (sorted,
+// deterministic). An empty set encodes as []; note encoding/json renders
+// a nil *Set struct field as null without consulting this method.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	if s == nil || s.Len() == 0 {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.Slice())
+}
+
+// UnmarshalJSON decodes an array of FDs into the set, replacing its
+// contents.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var fds []FD
+	if err := json.Unmarshal(data, &fds); err != nil {
+		return err
+	}
+	*s = *NewSet(fds...)
+	return nil
+}

@@ -1,0 +1,71 @@
+package fdset
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestFDJSONRoundTrip(t *testing.T) {
+	in := NewFD([]int{3, 1}, 5)
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"lhs":[1,3],"rhs":5}` {
+		t.Errorf("wire shape = %s", b)
+	}
+	var out FD
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: %v != %v", out, in)
+	}
+	// Empty LHS serializes as [] and survives.
+	b, err = json.Marshal(FD{LHS: EmptySet(), RHS: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"lhs":[],"rhs":0}` {
+		t.Errorf("empty-LHS wire shape = %s", b)
+	}
+}
+
+func TestFDJSONRejectsOutOfRange(t *testing.T) {
+	var f FD
+	if err := json.Unmarshal([]byte(`{"lhs":[-1],"rhs":0}`), &f); err == nil {
+		t.Error("negative LHS index accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"lhs":[0],"rhs":99999}`), &f); err == nil {
+		t.Error("huge RHS index accepted")
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	in := NewSet(
+		NewFD([]int{0, 2}, 1),
+		NewFD([]int{1}, 3),
+		NewFD(nil, 4),
+	)
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Set
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Equal(in) {
+		t.Errorf("round trip: %v != %v", out.Slice(), in.Slice())
+	}
+	// Determinism: marshaling twice yields identical bytes.
+	b2, _ := json.Marshal(in)
+	if string(b) != string(b2) {
+		t.Errorf("non-deterministic encoding: %s vs %s", b, b2)
+	}
+	// An empty set encodes as [] (encoding/json renders a nil *Set as
+	// null on its own, before method dispatch).
+	if b, _ := json.Marshal(NewSet()); string(b) != "[]" {
+		t.Errorf("empty set = %s", b)
+	}
+}

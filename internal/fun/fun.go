@@ -10,6 +10,7 @@
 package fun
 
 import (
+	"context"
 	"time"
 
 	"eulerfd/internal/dataset"
@@ -28,22 +29,36 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked once per free-set level.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel))
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel))
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	m := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: m}
 	out := fdset.NewSet()
 	if m == 0 {
 		stats.Total = time.Since(start)
-		return out, stats
+		return out, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	parts := preprocess.NewPartitionCache(enc, 8192)
@@ -97,6 +112,9 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 	}
 
 	for size := 1; len(level) > 0 && size < m; size++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		stats.Levels = size
 		inLevel := make(map[fdset.AttrSet]struct{}, len(level))
 		for _, x := range level {
@@ -145,7 +163,7 @@ func DiscoverEncoded(enc *preprocess.Encoded) (*fdset.Set, Stats) {
 
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 func lastAttr(s fdset.AttrSet) int {

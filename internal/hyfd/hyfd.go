@@ -14,6 +14,7 @@
 package hyfd
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -64,11 +65,16 @@ type Stats struct {
 
 // Discover returns the exact set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel, opt)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked between validation sweeps of the hybrid loop.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel), opt)
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel), opt)
 }
 
 type sampler struct {
@@ -105,13 +111,22 @@ func (s *sampler) exhausted() bool { return s.window > s.maxLen }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc, opt)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	opt = opt.withDefaults()
 	m := len(enc.Attrs)
 	stats := Stats{Rows: enc.NumRows, Cols: m}
 	if m == 0 {
 		stats.Total = time.Since(start)
-		return fdset.NewSet(), stats
+		return fdset.NewSet(), stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	smp := &sampler{enc: enc, clusters: enc.AllClusters(), window: 2, seen: map[fdset.AttrSet]struct{}{}}
@@ -171,6 +186,9 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	// RHS — so they are cached and never revalidated.
 	validated := make(map[fdset.FD]struct{})
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		invalid, total := 0, 0
 		for _, g := range candidateGroups(pcover, validated) {
 			part := enc.PartitionOf(g.lhs)
@@ -207,7 +225,7 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }
 
 // lhsGroup collects every candidate RHS sharing one LHS at a level.

@@ -13,6 +13,7 @@
 package kivinen
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -64,15 +65,26 @@ type Stats struct {
 
 // Discover returns an approximate set of minimal, non-trivial FDs.
 func Discover(rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
+	return DiscoverContext(context.Background(), rel, opt)
+}
+
+// DiscoverContext is Discover under a context. Cancellation is
+// cooperative, checked in blocks of the pair-sampling loop.
+func DiscoverContext(ctx context.Context, rel *dataset.Relation, opt Options) (*fdset.Set, Stats, error) {
 	if err := rel.Validate(); err != nil {
 		return nil, Stats{}, err
 	}
-	fds, stats := DiscoverEncoded(preprocess.Encode(rel), opt)
-	return fds, stats, nil
+	return DiscoverEncodedContext(ctx, preprocess.Encode(rel), opt)
 }
 
 // DiscoverEncoded is Discover over a pre-encoded relation.
 func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
+	fds, stats, _ := DiscoverEncodedContext(context.Background(), enc, opt)
+	return fds, stats
+}
+
+// DiscoverEncodedContext is DiscoverContext over a pre-encoded relation.
+func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats, error) {
 	start := time.Now()
 	opt = opt.withDefaults()
 	m := len(enc.Attrs)
@@ -85,7 +97,10 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 			out.Add(fdset.FD{LHS: fdset.EmptySet(), RHS: a})
 		}
 		stats.Total = time.Since(start)
-		return out, stats
+		return out, stats, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 
 	// Theoretical sample size: s = (1/ε)(m ln 2 + ln(1/δ)) pairs make
@@ -103,6 +118,11 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	seen := make(map[fdset.AttrSet]struct{})
 	var agrees []fdset.AttrSet
 	for k := 0; k < s; k++ {
+		if k%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, stats, err
+			}
+		}
 		i := r.Intn(enc.NumRows)
 		j := r.Intn(enc.NumRows)
 		if i == j {
@@ -141,5 +161,5 @@ func DiscoverEncoded(enc *preprocess.Encoded, opt Options) (*fdset.Set, Stats) {
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
 	stats.Total = time.Since(start)
-	return out, stats
+	return out, stats, nil
 }

@@ -19,11 +19,13 @@
 package regress
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
+	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/datasets"
@@ -31,7 +33,6 @@ import (
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
 	"eulerfd/internal/regress/report"
-	"eulerfd/internal/tane"
 	"eulerfd/internal/timing"
 )
 
@@ -175,7 +176,13 @@ func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
 
 func runCell(src Source, opt core.Options, runs int) CellResult {
 	enc := preprocess.Encode(src.Build())
-	truth, _ := tane.DiscoverEncoded(enc)
+	// The exact oracle dispatches through the algorithm registry — the
+	// same code path the CLI and the HTTP service use.
+	truth, _, err := algo.RunEncoded(context.Background(), algo.TANE, enc, algo.DefaultTuning())
+	if err != nil {
+		// Unreachable with a background context and a registered ID.
+		panic(fmt.Sprintf("regress: exact oracle failed: %v", err))
+	}
 
 	var first core.Stats
 	sampling := make([]float64, 0, runs)

@@ -1,0 +1,561 @@
+// Package serve implements fdserve, an embeddable HTTP service for FD
+// discovery. It manages a bounded store of discovery sessions, each
+// holding one dataset's core.Incremental state: submitting a CSV starts
+// a discovery job, appending row batches re-discovers incrementally,
+// and query endpoints (FDs, stats, closure, keys) answer against the
+// last completed result. Per-cycle progress is pollable as JSON and
+// streamable as server-sent events; jobs honor cancellation and
+// deadlines cooperatively at cycle boundaries, and Drain lets a host
+// shut down gracefully without abandoning in-flight work.
+//
+// The package is fdlint-gated: it never reads wall-clock time, session
+// and job IDs are small deterministic counters, and listings are sorted
+// by creation order — two identical request sequences produce identical
+// responses (modulo run statistics).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"eulerfd/internal/algo"
+	"eulerfd/internal/core"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/infer"
+)
+
+// Config bounds the service.
+type Config struct {
+	// MaxSessions caps live sessions; submits beyond it return 429.
+	// Default 16.
+	MaxSessions int
+	// MaxJobs caps concurrently running discovery jobs; excess jobs
+	// queue. Default 2.
+	MaxJobs int
+	// Euler configures every discovery run. Euler.Workers selects the
+	// internal/pool size each job samples and inverts with.
+	Euler core.Options
+	// JobTimeout is the per-job deadline; 0 means none. A job past its
+	// deadline terminates with code 504 at the next cycle boundary.
+	JobTimeout time.Duration
+	// CycleDelay pauses the job after each progress event. It exists for
+	// tests and the smoke mode, which need jobs that are reliably still
+	// running when a cancel arrives.
+	CycleDelay time.Duration
+	// MaxBodyBytes caps request bodies. Default 64 MiB.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the fdserve HTTP handler. Create with New, mount anywhere,
+// and call Drain before exiting.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	slots chan struct{} // job-concurrency semaphore
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	sessions map[string]*session
+	nextSess int
+	nextJob  int
+}
+
+// New builds a Server with cfg (zero fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		slots:    make(chan struct{}, cfg.MaxJobs),
+		sessions: make(map[string]*session),
+	}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleAppend)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/fds", s.handleFDs)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/closure", s.handleClosure)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/keys", s.handleKeys)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops accepting new jobs (submits and appends return 503) and
+// waits for in-flight jobs to finish, or for ctx to expire. Running
+// jobs are not cancelled: drain is graceful.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	draining := s.draining
+	s.mu.Unlock()
+	state := "ok"
+	if draining {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": state, "sessions": n})
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, algo.List())
+}
+
+// parseCSVBody reads the request body as CSV using the sep/header query
+// parameters (defaults "," and true).
+func parseCSVBody(r *http.Request, name string, headerDefault bool) (*dataset.Relation, error) {
+	opt := dataset.DefaultCSVOptions()
+	if v := r.URL.Query().Get("sep"); v != "" {
+		if len(v) != 1 {
+			return nil, fmt.Errorf("sep must be a single character")
+		}
+		opt.Comma = rune(v[0])
+	}
+	opt.HasHeader = headerDefault
+	if v := r.URL.Query().Get("header"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("header must be a boolean, got %q", v)
+		}
+		opt.HasHeader = b
+	}
+	return dataset.ReadCSV(name, r.Body, opt)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = "dataset"
+	}
+	rel, err := parseCSVBody(r, name, true)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse csv: "+err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("session limit (%d) reached; delete one first", s.cfg.MaxSessions))
+		return
+	}
+	inc, err := core.NewIncremental(name, rel.Attrs, s.cfg.Euler)
+	if err != nil {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.nextSess++
+	sess := &session{
+		id:    fmt.Sprintf("s%d", s.nextSess),
+		num:   s.nextSess,
+		name:  name,
+		attrs: rel.Attrs,
+		inc:   inc,
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	jobID, status, msg := s.startJob(sess, rel.Rows)
+	if status != 0 {
+		// The freshly created session cannot have a job in flight; only
+		// a drain begun between the two locks can land here.
+		s.mu.Lock()
+		delete(s.sessions, sess.id)
+		s.mu.Unlock()
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID})
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	rel, err := parseCSVBody(r, sess.name, false)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "parse csv: "+err.Error())
+		return
+	}
+	sess.mu.Lock()
+	ncols := len(sess.attrs)
+	sess.mu.Unlock()
+	if len(rel.Attrs) != ncols {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d columns, session has %d", len(rel.Attrs), ncols))
+		return
+	}
+	jobID, status, msg := s.startJob(sess, rel.Rows)
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID})
+}
+
+// startJob enqueues one discovery run on sess. It returns the job id on
+// success, or a non-zero HTTP status and message on refusal.
+func (s *Server) startJob(sess *session, rows [][]string) (string, int, string) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return "", http.StatusServiceUnavailable, "server is draining"
+	}
+	s.nextJob++
+	id := fmt.Sprintf("j%d", s.nextJob)
+	s.mu.Unlock()
+
+	sess.mu.Lock()
+	switch sess.state {
+	case stateQueued, stateRunning:
+		sess.mu.Unlock()
+		return "", http.StatusConflict, "a job is already in flight on this session"
+	case stateCancelled:
+		sess.mu.Unlock()
+		return "", http.StatusConflict, "session is cancelled; its result no longer reflects a completed run"
+	case stateFailed:
+		sess.mu.Unlock()
+		return "", http.StatusConflict, "session has failed; delete it and resubmit"
+	}
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	jb := &job{id: id}
+	sess.current = jb
+	sess.state = stateQueued
+	sess.cancel = cancel
+	sess.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.runJob(sess, jb, rows, ctx, cancel)
+	return id, 0, ""
+}
+
+// runJob executes one discovery job: wait for a concurrency slot, run
+// the incremental append under the job context, record the outcome.
+// Exactly one runJob touches sess.inc at a time — startJob refuses to
+// stack jobs — so inc is accessed outside sess.mu.
+func (s *Server) runJob(sess *session, jb *job, rows [][]string, ctx context.Context, cancel context.CancelFunc) {
+	defer s.wg.Done()
+	defer cancel()
+
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.finishJob(sess, jb, core.Stats{}, ctx.Err())
+		return
+	}
+	defer func() { <-s.slots }()
+
+	sess.mu.Lock()
+	sess.state = stateRunning
+	sess.mu.Unlock()
+
+	obs := func(p core.Progress) {
+		sess.publish(event{name: "progress", data: p})
+		if s.cfg.CycleDelay > 0 {
+			time.Sleep(s.cfg.CycleDelay)
+		}
+	}
+	stats, err := sess.inc.AppendContext(ctx, rows, obs)
+	s.finishJob(sess, jb, stats, err)
+}
+
+// finishJob records a job's terminal state and publishes the done event.
+func (s *Server) finishJob(sess *session, jb *job, stats core.Stats, err error) {
+	sess.mu.Lock()
+	var done doneDoc
+	switch {
+	case err == nil:
+		sess.state = stateReady
+		sess.fds = sess.inc.FDs()
+		sess.stats = stats
+		sess.rows = sess.inc.NumRows()
+		sess.appends = sess.inc.Appends
+		jb.code = http.StatusOK
+	case errors.Is(err, context.Canceled):
+		sess.state = stateCancelled
+		jb.code = StatusClientClosedRequest
+		jb.err = err.Error()
+	case errors.Is(err, context.DeadlineExceeded):
+		sess.state = stateFailed
+		jb.code = http.StatusGatewayTimeout
+		jb.err = err.Error()
+	default:
+		sess.state = stateFailed
+		jb.code = http.StatusBadRequest
+		jb.err = err.Error()
+	}
+	sess.cancel = nil
+	done = doneDoc{Job: jb.id, State: sess.state, Code: jb.code, Error: jb.err}
+	sess.mu.Unlock()
+	sess.publish(event{name: "done", data: done})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	if sess.cancel == nil || (sess.state != stateQueued && sess.state != stateRunning) {
+		sess.mu.Unlock()
+		writeError(w, http.StatusConflict, "no job in flight to cancel")
+		return
+	}
+	jobID := sess.current.id
+	sess.cancel()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	all := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		all = append(all, sess)
+	}
+	s.mu.Unlock()
+	// Deterministic listing: creation order, never map order.
+	sort.Slice(all, func(i, j int) bool { return all[i].num < all[j].num })
+	docs := make([]sessionDoc, 0, len(all))
+	for _, sess := range all {
+		docs = append(docs, sess.doc())
+	}
+	writeJSON(w, http.StatusOK, docs)
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.doc())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	if sess.cancel != nil {
+		sess.cancel()
+	}
+	sess.mu.Unlock()
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	fds, attrs, _, ready := sess.snapshotResult()
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	blob, err := fds.MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, fdsDoc{Attrs: attrs, Count: fds.Len(), FDs: blob})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.fds == nil {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, statsDoc{Rows: sess.rows, Appends: sess.appends, Stats: sess.stats})
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	doc := progressDoc{State: sess.state, Events: len(sess.history)}
+	for i := len(sess.history) - 1; i >= 0; i-- {
+		ev := sess.history[i]
+		if p, isProgress := ev.data.(core.Progress); isProgress && doc.Latest == nil {
+			snap := p
+			doc.Latest = &snap
+		}
+		if d, isDone := ev.data.(doneDoc); isDone && doc.Done == nil {
+			snap := d
+			doc.Done = &snap
+		}
+		if doc.Latest != nil && doc.Done != nil {
+			break
+		}
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleClosure(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	fds, attrs, ncols, ready := sess.snapshotResult()
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	indices, err := resolveAttrs(r.URL.Query().Get("attrs"), attrs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	x := fdset.NewAttrSet(indices...)
+	closure := infer.Closure(fds, x, ncols).Attrs()
+	names := make([]string, 0, len(closure))
+	for _, a := range closure {
+		names = append(names, attrs[a])
+	}
+	writeJSON(w, http.StatusOK, closureDoc{Attrs: indices, Closure: closure, Names: names})
+}
+
+func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	fds, _, ncols, ready := sess.snapshotResult()
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	if ncols > 24 {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Sprintf("candidate-key enumeration is limited to 24 attributes, schema has %d", ncols))
+		return
+	}
+	keys := infer.CandidateKeys(fds, ncols)
+	doc := keysDoc{Keys: make([][]int, 0, len(keys))}
+	for _, k := range keys {
+		attrs := k.Attrs()
+		if attrs == nil {
+			attrs = []int{}
+		}
+		doc.Keys = append(doc.Keys, attrs)
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// getSession resolves the {id} path value, answering 404 itself.
+func (s *Server) getSession(w http.ResponseWriter, r *http.Request) (*session, bool) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no session %q", id))
+		return nil, false
+	}
+	return sess, true
+}
+
+// resolveAttrs parses a comma-separated list of attribute names or
+// indices against a schema.
+func resolveAttrs(list string, attrs []string) ([]int, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("attrs query parameter is required (comma-separated names or indices)")
+	}
+	var out []int
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		idx := -1
+		for i, name := range attrs {
+			if name == tok {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			n, err := strconv.Atoi(tok)
+			if err != nil || n < 0 || n >= len(attrs) {
+				return nil, fmt.Errorf("unknown attribute %q", tok)
+			}
+			idx = n
+		}
+		out = append(out, idx)
+	}
+	return out, nil
+}

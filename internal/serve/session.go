@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	"eulerfd/internal/core"
+	"eulerfd/internal/fdset"
+)
+
+// Session lifecycle states. The machine is documented in DESIGN.md:
+//
+//	queued → running → ready → (append) → queued → …
+//	queued|running → cancelled        (terminal, via POST cancel)
+//	queued|running → failed           (terminal, deadline or data error)
+//
+// ready is the only state that accepts appends and result queries;
+// cancelled and failed are terminal because a cancelled append leaves
+// the Incremental's covers partially updated (see core.AppendContext).
+const (
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateReady     = "ready"
+	stateCancelled = "cancelled"
+	stateFailed    = "failed"
+)
+
+// event is one entry of a session's progress history: a per-cycle
+// Progress snapshot or the terminal done marker.
+type event struct {
+	name string // "progress" or "done"
+	data any    // core.Progress or doneDoc
+}
+
+// job is one discovery run (initial submit or append) on a session.
+type job struct {
+	id   string
+	code int // 0 until terminal
+	err  string
+}
+
+// session holds one dataset's incremental discovery state.
+type session struct {
+	id  string
+	num int // creation order, for deterministic listings
+
+	mu      sync.Mutex
+	name    string
+	attrs   []string
+	state   string
+	inc     *core.Incremental
+	fds     *fdset.Set // last completed result
+	stats   core.Stats // stats of the last completed job
+	rows    int        // rows absorbed by completed jobs
+	appends int
+	current *job               // most recent job
+	cancel  context.CancelFunc // cancels the running job
+	history []event
+	subs    []chan event // live SSE subscribers, in subscription order
+}
+
+// doc renders the session for the wire. Callers must not hold s.mu.
+func (s *session) doc() sessionDoc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := sessionDoc{
+		ID:     s.id,
+		Name:   s.name,
+		Attrs:  s.attrs,
+		Rows:   s.rows,
+		State:  s.state,
+		Events: len(s.history),
+	}
+	if s.fds != nil {
+		d.FDs = s.fds.Len()
+	}
+	if s.current != nil {
+		d.Job = &jobDoc{ID: s.current.id, Code: s.current.code, Error: s.current.err}
+	}
+	return d
+}
+
+// publish appends ev to the history and fans it out to subscribers.
+// Sends never block: subscriber channels are buffered generously and a
+// full one (an SSE client that stopped reading) is skipped — the client
+// still sees the event on reconnect via the history replay.
+func (s *session) publish(ev event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.history = append(s.history, ev)
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns a copy of the history so far and a channel carrying
+// every event published afterwards.
+func (s *session) subscribe() ([]event, chan event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan event, 256)
+	s.subs = append(s.subs, ch)
+	replay := make([]event, len(s.history))
+	copy(replay, s.history)
+	return replay, ch
+}
+
+// unsubscribe removes a subscriber channel.
+func (s *session) unsubscribe(ch chan event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.subs {
+		if c == ch {
+			s.subs = append(s.subs[:i], s.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// snapshotResult returns the last completed result, or ok = false when
+// no job has completed yet.
+func (s *session) snapshotResult() (*fdset.Set, []string, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fds == nil {
+		return nil, nil, 0, false
+	}
+	return s.fds, s.attrs, len(s.attrs), true
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"eulerfd/internal/core"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// terminated by the client. Cancelled discovery jobs report it as their
+// terminal code.
+const StatusClientClosedRequest = 499
+
+// errorDoc is the JSON body of every non-2xx response.
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// jobDoc describes one discovery job on the wire.
+type jobDoc struct {
+	ID string `json:"id"`
+	// Code is the job's terminal HTTP-style status: 0 while queued or
+	// running, 200 on success, 499 when cancelled, 504 on deadline,
+	// 400/500 on error.
+	Code  int    `json:"code"`
+	Error string `json:"error,omitempty"`
+}
+
+// sessionDoc describes one session on the wire.
+type sessionDoc struct {
+	ID     string   `json:"id"`
+	Name   string   `json:"name"`
+	Attrs  []string `json:"attrs"`
+	Rows   int      `json:"rows"`
+	State  string   `json:"state"`
+	FDs    int      `json:"fds"`
+	Events int      `json:"events"`
+	Job    *jobDoc  `json:"job,omitempty"`
+}
+
+// submitDoc acknowledges a new session or append: the job is accepted
+// but not necessarily finished.
+type submitDoc struct {
+	Session string `json:"session"`
+	Job     string `json:"job"`
+}
+
+// doneDoc is the terminal event of a job's progress stream.
+type doneDoc struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Code  int    `json:"code"`
+	Error string `json:"error,omitempty"`
+}
+
+// progressDoc answers the polling endpoint: the latest snapshot plus the
+// session's lifecycle position.
+type progressDoc struct {
+	State  string         `json:"state"`
+	Events int            `json:"events"`
+	Latest *core.Progress `json:"latest"`
+	Done   *doneDoc       `json:"done,omitempty"`
+}
+
+// fdsDoc carries a discovered FD set. FDs serialize as
+// {"lhs":[indices],"rhs":index}; Attrs resolves indices to names.
+type fdsDoc struct {
+	Attrs []string        `json:"attrs"`
+	Count int             `json:"count"`
+	FDs   json.RawMessage `json:"fds"`
+}
+
+// statsDoc carries the statistics of the last completed job.
+type statsDoc struct {
+	Rows    int        `json:"rows"`
+	Appends int        `json:"appends"`
+	Stats   core.Stats `json:"stats"`
+}
+
+// closureDoc answers an attribute-closure query.
+type closureDoc struct {
+	Attrs   []int    `json:"attrs"`
+	Closure []int    `json:"closure"`
+	Names   []string `json:"names"`
+}
+
+// keysDoc answers a candidate-key query.
+type keysDoc struct {
+	Keys [][]int `json:"keys"`
+}
+
+// writeJSON writes v with the given status. Encoding errors after the
+// header is out are unrecoverable and ignored.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorDoc{Error: msg})
+}
