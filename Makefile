@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-smoke bench-sampling regress regress-record serve-smoke
+.PHONY: check build vet lint test race bench-smoke bench-sampling bench-afd regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -40,6 +40,10 @@ serve-smoke:
 # Regenerates the committed machine-readable sampling benchmark.
 bench-sampling:
 	$(GO) run ./cmd/fdbench -json BENCH_sampling.json
+
+# Regenerates the committed machine-readable AFD scoring benchmark.
+bench-afd:
+	$(GO) run ./cmd/fdbench -afd-json BENCH_afd.json
 
 # Regression gate: runs the canonical suite and diffs against the
 # committed BASELINE.json. Accuracy is exact-match gated; wall times are

@@ -9,6 +9,8 @@
 //	fdbench -exp fig6 -budget 30s
 //	fdbench -exp sampling -workers 8        # parallel sampling engine bench
 //	fdbench -json BENCH_sampling.json       # same, plus machine-readable report
+//	fdbench -exp afd                        # approximate-FD scoring bench
+//	fdbench -afd-json BENCH_afd.json        # same, plus machine-readable report
 package main
 
 import (
@@ -33,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budget := fs.Duration("budget", 2*time.Minute, "per-cell time budget (0 = unlimited)")
 	workers := fs.Int("workers", 0, "EulerFD worker-pool size (0 = all CPU cores, 1 = sequential)")
 	jsonPath := fs.String("json", "", "run the sampling benchmark and write its report to this JSON file")
+	afdJSONPath := fs.String("afd-json", "", "run the AFD scoring benchmark and write its report to this JSON file")
+	runs := fs.Int("runs", 0, "AFD benchmark repetitions per cell (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *jsonPath == "" {
+	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" {
 		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
 		return 2
 	}
@@ -58,9 +62,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
-		if *exp == "" {
-			return 0
+	}
+	if *afdJSONPath != "" {
+		if err := bench.RunAFDToFile(stdout, *runs, *afdJSONPath); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return 1
 		}
+		fmt.Fprintf(stdout, "wrote %s\n", *afdJSONPath)
+	}
+	if *exp == "" {
+		return 0
 	}
 
 	ids := []string{*exp}

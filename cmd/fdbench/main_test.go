@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"eulerfd/internal/bench"
 )
 
 func TestRunList(t *testing.T) {
@@ -28,5 +33,31 @@ func TestRunErrors(t *testing.T) {
 	}
 	if code := run([]string{"-bogus"}, &out, &errw); code != 2 {
 		t.Errorf("bad flag: exit %d", code)
+	}
+	if code := run([]string{"-afd-json", filepath.Join(t.TempDir(), "no", "such", "dir.json")}, &out, &errw); code != 1 {
+		t.Errorf("bad -afd-json path: exit %d", code)
+	}
+}
+
+func TestRunAFDJSON(t *testing.T) {
+	saved := bench.AFDDatasets
+	bench.AFDDatasets = []string{"iris"}
+	defer func() { bench.AFDDatasets = saved }()
+
+	path := filepath.Join(t.TempDir(), "afd.json")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-afd-json", path, "-runs", "1"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.AFDReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v", err)
+	}
+	if rep.Schema != 1 || len(rep.Cells) == 0 {
+		t.Errorf("report = %+v", rep)
 	}
 }

@@ -13,6 +13,12 @@
 //	-workers N                         EulerFD worker pool (0 = all cores, 1 = sequential)
 //	-stats                             print run statistics to stderr
 //	-check                             also run the exact oracle and report F1
+//
+// Approximate mode (any of these flags selects it):
+//
+//	-measure g3|g1|pdep|tau            error measure (default g3)
+//	-eps 0.05                          threshold mode: keep FDs with error <= eps
+//	-topk 10                           top-k mode: the k best-scoring candidates
 package main
 
 import (
@@ -25,6 +31,7 @@ import (
 	"strings"
 	"time"
 
+	"eulerfd"
 	"eulerfd/internal/algo"
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/fdset"
@@ -72,9 +79,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	check := fs.Bool("check", false, "run the exact oracle too and report F1")
 	asJSON := fs.Bool("json", false, "emit the FDs as a JSON array")
 	target := fs.String("target", "", "only print FDs whose RHS is this attribute (the DMS sensitive-attribute query)")
+	measure := fs.String("measure", "", "approximate mode: error measure (g3, g1, pdep, tau)")
+	eps := fs.Float64("eps", 0.05, "approximate threshold mode: error budget in [0, 1]")
+	topk := fs.Int("topk", 0, "approximate top-k mode: number of best-scoring FDs (0 = threshold mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// Any approx flag switches the command into approximate mode.
+	approx := *measure != "" || *topk > 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "eps" {
+			approx = true
+		}
+	})
 
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: fddiscover [flags] file.csv")
@@ -93,6 +110,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "fddiscover:", err)
 		return 1
+	}
+
+	if approx {
+		return runApprox(rel, *measure, *eps, *topk, *asJSON, *stats, stdout, stderr)
 	}
 
 	id := algo.ID(*algoFlag)
@@ -163,6 +184,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r := metrics.Evaluate(fds, truth)
 		fmt.Fprintf(stderr, "accuracy vs exact (%d FDs): precision=%.4f recall=%.4f F1=%.4f\n",
 			truth.Len(), r.Precision, r.Recall, r.F1)
+	}
+	return 0
+}
+
+// scoredDoc is the -json output shape of one approximate dependency.
+type scoredDoc struct {
+	LHS   []string `json:"lhs"`
+	RHS   string   `json:"rhs"`
+	Score float64  `json:"score"`
+}
+
+// runApprox handles the -measure/-eps/-topk mode: error-tolerant scoring
+// through the public DiscoverApprox API.
+func runApprox(rel *dataset.Relation, measure string, eps float64, topk int, asJSON, stats bool, stdout, stderr io.Writer) int {
+	m, err := eulerfd.ParseMeasure(measure)
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 2
+	}
+	opt := eulerfd.DefaultOptions()
+	opt.Epsilon = eps
+	opt.TopK = topk
+	start := time.Now()
+	res, err := eulerfd.DiscoverApprox(rel, m, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	if asJSON {
+		docs := make([]scoredDoc, 0, len(res.FDs))
+		for _, sf := range res.FDs {
+			d := scoredDoc{RHS: attrName(rel.Attrs, sf.FD.RHS), LHS: []string{}, Score: sf.Score}
+			for _, a := range sf.FD.LHS.Attrs() {
+				d.LHS = append(d.LHS, attrName(rel.Attrs, a))
+			}
+			docs = append(docs, d)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintln(stderr, "fddiscover:", err)
+			return 1
+		}
+	} else {
+		for _, sf := range res.FDs {
+			fmt.Fprintf(stdout, "%s  score=%.6f\n", sf.FD.Format(rel.Attrs), sf.Score)
+		}
+	}
+	if stats {
+		mode := fmt.Sprintf("eps=%g", eps)
+		if topk > 0 {
+			mode = fmt.Sprintf("k=%d", topk)
+		}
+		fmt.Fprintf(stderr, "%s: %d rows × %d cols, %d scored FDs in %s (measure=%s %s candidates=%d)\n",
+			res.Algo, rel.NumRows(), rel.NumCols(), len(res.FDs),
+			elapsed.Round(time.Microsecond), res.Measure, mode, res.Stats.Candidates)
 	}
 	return 0
 }

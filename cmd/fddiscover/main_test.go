@@ -129,6 +129,63 @@ func TestRunTargetFilter(t *testing.T) {
 	}
 }
 
+func TestRunApproxThreshold(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-measure", "g3", "-eps", "0", "-stats", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "[A] -> B  score=0.000000") {
+		t.Errorf("approx output missing scored A -> B:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "measure=g3") {
+		t.Errorf("-stats missing measure: %s", errw.String())
+	}
+}
+
+func TestRunApproxTopKJSON(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-topk", "3", "-measure", "pdep", "-json", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	var docs []struct {
+		LHS   []string `json:"lhs"`
+		RHS   string   `json:"rhs"`
+		Score float64  `json:"score"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(docs) == 0 || len(docs) > 3 {
+		t.Fatalf("|topk| = %d: %s", len(docs), out.String())
+	}
+	for i := 1; i < len(docs); i++ {
+		if docs[i].Score < docs[i-1].Score {
+			t.Errorf("ranking not sorted: %s", out.String())
+		}
+	}
+}
+
+func TestRunApproxErrors(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"bad measure", []string{"-measure", "nope", path}, 2},
+		{"eps out of range", []string{"-eps", "1.5", path}, 1},
+		{"pdep threshold", []string{"-measure", "pdep", path}, 1},
+	}
+	for _, c := range cases {
+		var out, errw bytes.Buffer
+		if code := run(c.args, &out, &errw); code != c.code {
+			t.Errorf("%s: exit %d, want %d (stderr %q)", c.name, code, c.code, errw.String())
+		}
+	}
+}
+
 func TestRunWorkersFlag(t *testing.T) {
 	path := writeCSV(t, simpleCSV)
 	var out, errw bytes.Buffer

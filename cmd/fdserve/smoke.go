@@ -93,6 +93,16 @@ func runSmoke(cfg serve.Config, stdout io.Writer) error {
 	if err := step("query keys", smokeGet(base+"/v1/sessions/"+ack.Session+"/keys", nil)); err != nil {
 		return err
 	}
+	var afds struct {
+		Mode  string `json:"mode"`
+		Count int    `json:"count"`
+	}
+	if err := step("query afds", smokeGet(base+"/v1/sessions/"+ack.Session+"/afds?measure=g3&eps=0.1", &afds)); err != nil {
+		return err
+	}
+	if afds.Mode != "threshold" || afds.Count == 0 {
+		return fmt.Errorf("query afds: mode %q, count %d", afds.Mode, afds.Count)
+	}
 
 	// Append a batch and wait for re-discovery.
 	var ack2 struct{ Session, Job string }

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"io"
 
+	"eulerfd/internal/afd"
 	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
@@ -73,7 +74,32 @@ type (
 	AlgoID = algo.ID
 	// AlgoInfo describes a registered discovery algorithm.
 	AlgoInfo = algo.Info
+	// Measure names an AFD error measure (g3, g1, pdep, tau).
+	Measure = afd.Measure
+	// ScoredFD pairs a dependency with its error under a Measure; 0
+	// means the dependency holds exactly.
+	ScoredFD = fdset.ScoredFD
+	// ApproxStats describes the work performed by an approximate
+	// (AFD) discovery run.
+	ApproxStats = afd.Stats
 )
+
+// Supported AFD error measures, usable with DiscoverApprox.
+const (
+	// MeasureG3 is the minimum fraction of rows to remove for the FD to
+	// hold exactly — the default measure.
+	MeasureG3 = afd.G3
+	// MeasureG1 is the fraction of ordered row pairs violating the FD.
+	MeasureG1 = afd.G1
+	// MeasurePdep is 1 − pdep(A|X), a pair-agreement probability.
+	MeasurePdep = afd.Pdep
+	// MeasureTau is 1 − τ(X→A), pdep normalized against A's marginal.
+	MeasureTau = afd.Tau
+)
+
+// ParseMeasure maps a user-supplied measure name (CLI flag, query
+// parameter) to a Measure; an empty string selects g3.
+func ParseMeasure(s string) (Measure, error) { return afd.ParseMeasure(s) }
 
 // Registered algorithm IDs, usable with DiscoverWith and ExactContext.
 const (
@@ -87,6 +113,8 @@ const (
 	AlgoFastFDs  = algo.FastFDs
 	AlgoAIDFD    = algo.AIDFD
 	AlgoKivinen  = algo.Kivinen
+	AlgoAFDg3    = algo.AFDg3
+	AlgoAFDTopK  = algo.AFDTopK
 )
 
 // Algorithms lists every registered discovery algorithm in a stable
@@ -252,6 +280,64 @@ func DiscoverTolerant(rel *Relation, maxErr float64) (*Set, error) {
 	}
 	fds, _ := tane.DiscoverApprox(preprocess.Encode(rel), maxErr)
 	return fds, nil
+}
+
+// ApproxResult is the outcome of an approximate (AFD) discovery run:
+// scored dependencies plus run statistics, with the same wire
+// conventions as Result (ScoredFDs serialize as
+// {"lhs":[indices],"rhs":index,"score":error} objects).
+type ApproxResult struct {
+	// Algo is AlgoAFDg3 (threshold mode) or AlgoAFDTopK (top-k mode).
+	Algo AlgoID `json:"algo"`
+	// Measure is the error measure the scores are under.
+	Measure Measure `json:"measure"`
+	// FDs holds the scored dependencies: canonical FD order in
+	// threshold mode, best-error-first in top-k mode.
+	FDs []ScoredFD `json:"fds"`
+	// Stats describes the work performed.
+	Stats ApproxStats `json:"stats"`
+}
+
+// DiscoverApprox finds approximate functional dependencies — FDs that
+// hold up to an error budget on dirty data. Options.TopK selects the
+// mode: 0 discovers every minimal dependency with error ≤
+// Options.Epsilon (threshold mode, measure must be g3 or g1), while K >
+// 0 ranks candidates seeded by an EulerFD run and returns the K with
+// the lowest error (any measure). Options.Validate governs the field
+// ranges; the remaining Options fields tune the seeding double cycle.
+func DiscoverApprox(rel *Relation, measure Measure, opt Options) (ApproxResult, error) {
+	return DiscoverApproxContext(context.Background(), rel, measure, opt)
+}
+
+// DiscoverApproxContext is DiscoverApprox under a context. Cancellation
+// is cooperative: between double-cycle stages while seeding, between
+// lattice levels in threshold mode, and every few hundred candidates
+// while ranking.
+func DiscoverApproxContext(ctx context.Context, rel *Relation, measure Measure, opt Options) (ApproxResult, error) {
+	if err := rel.Validate(); err != nil {
+		return ApproxResult{}, err
+	}
+	if err := opt.Validate(); err != nil {
+		return ApproxResult{}, err
+	}
+	aopt := afd.DefaultOptions()
+	aopt.Measure = measure
+	aopt.Epsilon = opt.Epsilon
+	aopt.TopK = opt.TopK
+	aopt.Euler = opt
+	enc := preprocess.Encode(rel)
+	if opt.TopK > 0 {
+		fds, stats, err := afd.TopK(ctx, enc, aopt)
+		if err != nil {
+			return ApproxResult{}, err
+		}
+		return ApproxResult{Algo: AlgoAFDTopK, Measure: aopt.Measure, FDs: fds, Stats: stats}, nil
+	}
+	fds, stats, err := afd.Threshold(ctx, enc, aopt)
+	if err != nil {
+		return ApproxResult{}, err
+	}
+	return ApproxResult{Algo: AlgoAFDg3, Measure: aopt.Measure, FDs: fds, Stats: stats}, nil
 }
 
 // ApproxAIDFD runs the AID-FD baseline with its default threshold.

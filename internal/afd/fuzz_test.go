@@ -1,0 +1,79 @@
+package afd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eulerfd/internal/afd"
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// FuzzAFDScore decodes a tiny relation plus a candidate dependency from
+// the fuzz input and checks the scoring invariants that must hold for
+// any input: scores stay in [0, 1], g3/g1 are zero exactly when the FD
+// holds, and adding an LHS attribute never increases an anti-monotone
+// measure. Wired into the CI fuzz-smoke job next to the other targets.
+func FuzzAFDScore(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, uint8(3), uint8(0b01), uint8(2), uint8(0))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2), uint8(0b10), uint8(0), uint8(1))
+	f.Add([]byte{9, 8, 7, 6, 5, 4}, uint8(1), uint8(0), uint8(0), uint8(0))
+	f.Fuzz(func(t *testing.T, cells []byte, colsRaw, lhsMask, rhsRaw, extraRaw uint8) {
+		cols := int(colsRaw%6) + 1
+		nrows := len(cells) / cols
+		if nrows == 0 || nrows > 64 {
+			t.Skip()
+		}
+		rows := make([][]string, nrows)
+		for i := range rows {
+			row := make([]string, cols)
+			for j := range row {
+				row[j] = fmt.Sprintf("%d", cells[i*cols+j]%5)
+			}
+			rows[i] = row
+		}
+		attrs := make([]string, cols)
+		for j := range attrs {
+			attrs[j] = fmt.Sprintf("c%d", j)
+		}
+		rel, err := dataset.New("fuzz", attrs, rows)
+		if err != nil {
+			t.Skip()
+		}
+		enc := preprocess.Encode(rel)
+		s := afd.NewScorer(enc, 4)
+
+		rhs := int(rhsRaw) % cols
+		var lhs fdset.AttrSet
+		for a := 0; a < cols; a++ {
+			if lhsMask&(1<<a) != 0 && a != rhs {
+				lhs.Add(a)
+			}
+		}
+		holds := enc.ConstantOn(enc.PartitionOf(lhs), rhs)
+		for _, m := range afd.Measures() {
+			score := s.Score(m, lhs, rhs)
+			if score < 0 || score > 1 {
+				t.Fatalf("%s score %v outside [0, 1] for %v -> %d", m, score, lhs, rhs)
+			}
+			if m == afd.G3 || m == afd.G1 {
+				if holds && score != 0 {
+					t.Fatalf("%s = %v for exact FD %v -> %d", m, score, lhs, rhs)
+				}
+				if !holds && score == 0 {
+					t.Fatalf("%s = 0 for violated FD %v -> %d", m, lhs, rhs)
+				}
+			}
+		}
+		extra := int(extraRaw) % cols
+		if extra != rhs && !lhs.Has(extra) {
+			wider := lhs.With(extra)
+			for _, m := range []afd.Measure{afd.G3, afd.G1} {
+				if s.Score(m, wider, rhs) > s.Score(m, lhs, rhs) {
+					t.Fatalf("%s increased when widening %v to %v (rhs %d)", m, lhs, wider, rhs)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+// Package afd is the approximate-functional-dependency engine: it scores
+// candidate FDs under pluggable error measures computed from the
+// stripped-partition substrate in internal/preprocess, discovers all
+// minimal dependencies under an error threshold (level-wise, pruned by
+// anti-monotonicity), and ranks top-k candidates seeded from EulerFD's
+// positive cover — the double cycle acts as the candidate generator and
+// this package as the scorer.
+//
+// Every measure is oriented as an *error*: 0 means the FD holds exactly
+// and larger is worse, so thresholds and rankings read the same way for
+// all of them. The measure menu follows Parciak et al., "Measuring
+// Approximate Functional Dependencies: a Comparative Study":
+//
+//	g3    minimum fraction of rows to delete so X → A holds
+//	g1    fraction of ordered row pairs violating X → A
+//	pdep  1 − pdep(A|X), the chance a drawn pair from one X-cluster
+//	      disagrees on A
+//	tau   1 − τ(X→A), pdep normalized against guessing A from its own
+//	      distribution
+package afd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Measure names an AFD error measure. The string value is the wire/CLI
+// spelling ("g3", "g1", "pdep", "tau").
+type Measure string
+
+// The supported error measures.
+const (
+	// G3 is Kivinen & Mannila's g₃: the minimum fraction of rows that
+	// must be removed for X → A to hold exactly. Anti-monotone over LHS
+	// supersets, and the default measure everywhere in this repo.
+	G3 Measure = "g3"
+	// G1 is g₁: violating ordered row pairs over n². Anti-monotone.
+	G1 Measure = "g1"
+	// Pdep is 1 − pdep(A|X) (Piatetsky-Shapiro & Matheus): the
+	// probability that two rows drawn with replacement from the same
+	// X-cluster disagree on A.
+	Pdep Measure = "pdep"
+	// Tau is 1 − τ(X→A), Goodman & Kruskal's τ: pdep's improvement over
+	// guessing A from its marginal distribution, normalized to (0, 1].
+	Tau Measure = "tau"
+)
+
+// Measures lists the supported measures in stable (documentation) order.
+func Measures() []Measure { return []Measure{G3, G1, Pdep, Tau} }
+
+// ParseMeasure maps a user-supplied spelling (CLI flag, query parameter)
+// to a Measure, case-insensitively. An empty string selects G3.
+func ParseMeasure(s string) (Measure, error) {
+	switch strings.ToLower(s) {
+	case "", "g3":
+		return G3, nil
+	case "g1":
+		return G1, nil
+	case "pdep":
+		return Pdep, nil
+	case "tau", "τ":
+		return Tau, nil
+	}
+	return "", fmt.Errorf("afd: unknown measure %q (want g3, g1, pdep, or tau)", s)
+}
+
+// Valid reports whether m is one of the supported measures.
+func (m Measure) Valid() bool {
+	switch m {
+	case G3, G1, Pdep, Tau:
+		return true
+	}
+	return false
+}
+
+// AntiMonotone reports whether the measure's error never increases when
+// an attribute is added to the LHS — the property threshold-mode
+// discovery prunes with (a valid node's supersets are all valid, hence
+// non-minimal and skippable). g3 and g1 carry it directly: refining a
+// partition can only shrink per-cluster violation counts. pdep and τ are
+// also monotone under refinement, but their normalization makes
+// threshold semantics unintuitive near the extremes, so this package
+// conservatively restricts threshold mode to g3/g1 and routes pdep/τ
+// through top-k ranking.
+func (m Measure) AntiMonotone() bool { return m == G3 || m == G1 }

@@ -1,0 +1,271 @@
+package afd
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+)
+
+// Scorer evaluates candidate FDs over one encoded relation. Partitions
+// are memoized in a shared PartitionCache, so interleaved Score calls
+// across measures and callers reuse each other's work; the cache is
+// concurrency-safe, and a Scorer performs no writes outside it, so one
+// Scorer may serve concurrent requests (fdserve shares one per session).
+type Scorer struct {
+	enc   *preprocess.Encoded
+	cache *preprocess.PartitionCache
+
+	// attrPdep[a] is the unconditional pdep(a) = Σ_v p(v)², the τ
+	// baseline. Computed eagerly for every attribute at construction so
+	// concurrent Score calls only read it.
+	attrPdep []float64
+
+	// scored counts Score calls; atomic because a Scorer may serve
+	// concurrent requests.
+	scored atomic.Int64
+}
+
+// NewScorer builds a scorer over an encoded relation with a partition
+// cache bounded to cacheSize entries (< 1 selects the cache default).
+func NewScorer(enc *preprocess.Encoded, cacheSize int) *Scorer {
+	s := &Scorer{
+		enc:      enc,
+		cache:    preprocess.NewPartitionCache(enc, cacheSize),
+		attrPdep: make([]float64, len(enc.Attrs)),
+	}
+	n := enc.NumRows
+	for a := range enc.Attrs {
+		if n == 0 {
+			s.attrPdep[a] = 1
+			continue
+		}
+		// Stripped π_a clusters rows by value; each of the n − covered
+		// singleton rows is a value occurring once.
+		var sqSum, covered int64
+		for _, cluster := range enc.Partitions[a].Clusters {
+			c := int64(len(cluster))
+			sqSum += c * c
+			covered += c
+		}
+		s.attrPdep[a] = float64(sqSum+(int64(n)-covered)) / (float64(n) * float64(n))
+	}
+	return s
+}
+
+// CacheStats reports the partition cache counters (hits, misses,
+// neighbor derivations). Read it only after concurrent scoring settles.
+func (s *Scorer) CacheStats() (hits, misses, derived int) {
+	return s.cache.Hits, s.cache.Misses, s.cache.Derived
+}
+
+// Scored returns how many dependencies this scorer has evaluated.
+func (s *Scorer) Scored() int { return int(s.scored.Load()) }
+
+// Score returns the error of lhs → rhs under measure m, in [0, 1] with 0
+// meaning the dependency holds exactly. Trivial dependencies (rhs ∈ lhs)
+// and empty relations score 0. m must be a valid Measure; Score panics
+// on an unknown one (callers validate at the API boundary).
+func (s *Scorer) Score(m Measure, lhs fdset.AttrSet, rhs int) float64 {
+	s.scored.Add(1)
+	if lhs.Has(rhs) {
+		return 0
+	}
+	n := s.enc.NumRows
+	if n == 0 {
+		return 0
+	}
+	mc := s.enc.CountViolations(s.cache.Get(lhs), rhs)
+	switch m {
+	case G3:
+		return float64(mc.ViolatingRows) / float64(n)
+	case G1:
+		return float64(mc.ViolatingPairs) / (float64(n) * float64(n))
+	case Pdep:
+		return clamp01(1 - mc.PdepFrom(n))
+	case Tau:
+		base := s.attrPdep[rhs]
+		if base >= 1 {
+			// A constant RHS is determined by anything; τ's normalization
+			// is undefined there, and error 0 is the sensible limit.
+			return 0
+		}
+		return clamp01(1 - (mc.PdepFrom(n)-base)/(1-base))
+	}
+	panic(fmt.Sprintf("afd: Score called with invalid measure %q", string(m)))
+}
+
+// clamp01 pins float rounding residue back into [0, 1].
+func clamp01(x float64) float64 { return math.Min(1, math.Max(0, x)) }
+
+// Discover returns every minimal non-trivial dependency whose error
+// under m is at most eps, each with its score, in canonical FD order.
+// With eps = 0 and measure g3 or g1 this is exactly the minimal cover of
+// the relation's exact FDs.
+//
+// The search walks the LHS lattice level-wise per RHS. Each candidate X
+// is generated exactly once — from its parent X minus its largest
+// attribute, extending only with attributes beyond that maximum — so no
+// map iteration can reach the output order (I1). Pruning rests on m
+// being anti-monotone: a node within budget is emitted and never
+// extended (its supersets are non-minimal), and a generated node that
+// contains an already-emitted LHS is dropped unscored. Cancellation is
+// checked between lattice levels; a cancelled call returns ctx.Err().
+func (s *Scorer) Discover(ctx context.Context, m Measure, eps float64) ([]fdset.ScoredFD, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("afd: invalid measure %q", string(m))
+	}
+	if !m.AntiMonotone() {
+		return nil, fmt.Errorf("afd: measure %q is not anti-monotone; threshold discovery supports g3 and g1 (use top-k ranking for %s)", string(m), string(m))
+	}
+	if math.IsNaN(eps) || eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("afd: epsilon %v outside [0, 1]", eps)
+	}
+	ncols := len(s.enc.Attrs)
+	var out []fdset.ScoredFD
+	for rhs := 0; rhs < ncols; rhs++ {
+		var emitted []fdset.AttrSet
+		supersedes := func(x fdset.AttrSet) bool {
+			for _, e := range emitted {
+				if e.IsSubsetOf(x) {
+					return true
+				}
+			}
+			return false
+		}
+		level := []fdset.AttrSet{fdset.EmptySet()}
+		for len(level) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			var next []fdset.AttrSet
+			for _, x := range level {
+				// A sibling emitted earlier in this level may have made x
+				// non-minimal after x was generated; recheck before scoring.
+				if supersedes(x) {
+					continue
+				}
+				score := s.Score(m, x, rhs)
+				if score <= eps {
+					emitted = append(emitted, x)
+					out = append(out, fdset.ScoredFD{FD: fdset.FD{LHS: x, RHS: rhs}, Score: score})
+					continue
+				}
+				for b := maxAttr(x) + 1; b < ncols; b++ {
+					if b == rhs {
+						continue
+					}
+					child := x.With(b)
+					if supersedes(child) {
+						continue
+					}
+					next = append(next, child)
+				}
+			}
+			level = next
+		}
+	}
+	fdset.SortScoredFDs(out)
+	return out, nil
+}
+
+// maxAttr returns the largest attribute in x, or -1 when x is empty.
+func maxAttr(x fdset.AttrSet) int {
+	last := -1
+	x.ForEach(func(a int) bool { last = a; return true })
+	return last
+}
+
+// Rank scores candidate dependencies under m and returns the k best
+// (lowest error), ties broken by canonical FD order so the ranking is
+// deterministic. Candidates are the seeds plus every one-attribute
+// generalization of a seed — seeds come from EulerFD's positive cover,
+// whose FDs are *minimal within the sampled evidence*, so the true best
+// AFDs may sit one level below them; trivial candidates and duplicates
+// are dropped. A bounded max-heap keeps memory at O(k) regardless of the
+// candidate count. Cancellation is checked every 256 candidates.
+func (s *Scorer) Rank(ctx context.Context, m Measure, seeds []fdset.FD, k int) ([]fdset.ScoredFD, error) {
+	if !m.Valid() {
+		return nil, fmt.Errorf("afd: invalid measure %q", string(m))
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	cands := expandSeeds(seeds)
+	h := &worstFirstHeap{}
+	for i, f := range cands {
+		if i%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		sf := fdset.ScoredFD{FD: f, Score: s.Score(m, f.LHS, f.RHS)}
+		if h.Len() < k {
+			heap.Push(h, sf)
+		} else if outranks(sf, (*h)[0]) {
+			(*h)[0] = sf
+			heap.Fix(h, 0)
+		}
+	}
+	out := make([]fdset.ScoredFD, h.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(h).(fdset.ScoredFD)
+	}
+	return out, nil
+}
+
+// expandSeeds builds the deduplicated, canonically-sorted candidate list
+// for Rank: every non-trivial seed plus each seed with one LHS attribute
+// dropped.
+func expandSeeds(seeds []fdset.FD) []fdset.FD {
+	seen := make(map[fdset.FD]struct{}, 2*len(seeds))
+	cands := make([]fdset.FD, 0, 2*len(seeds))
+	add := func(f fdset.FD) {
+		if f.IsTrivial() {
+			return
+		}
+		if _, ok := seen[f]; ok {
+			return
+		}
+		seen[f] = struct{}{}
+		cands = append(cands, f)
+	}
+	for _, f := range seeds {
+		add(f)
+		f.LHS.ForEach(func(a int) bool {
+			add(fdset.FD{LHS: f.LHS.Without(a), RHS: f.RHS})
+			return true
+		})
+	}
+	fdset.SortFDs(cands)
+	return cands
+}
+
+// outranks reports whether a belongs strictly ahead of b in the ranking:
+// lower error first, canonical FD order on ties.
+func outranks(a, b fdset.ScoredFD) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return fdset.Less(a.FD, b.FD)
+}
+
+// worstFirstHeap is a max-heap by ranking order: the root is the entry
+// that would fall out of the top-k first.
+type worstFirstHeap []fdset.ScoredFD
+
+func (h worstFirstHeap) Len() int           { return len(h) }
+func (h worstFirstHeap) Less(i, j int) bool { return outranks(h[j], h[i]) }
+func (h worstFirstHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *worstFirstHeap) Push(x any)        { *h = append(*h, x.(fdset.ScoredFD)) }
+func (h *worstFirstHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

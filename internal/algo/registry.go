@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 
+	"eulerfd/internal/afd"
 	"eulerfd/internal/aidfd"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
@@ -43,6 +44,8 @@ const (
 	FastFDs  ID = "fastfds"
 	AIDFD    ID = "aidfd"
 	Kivinen  ID = "kivinen"
+	AFDg3    ID = "afd-g3"
+	AFDTopK  ID = "afd-topk"
 )
 
 // Info describes a registered algorithm.
@@ -65,6 +68,7 @@ type Tuning struct {
 	HyFD    hyfd.Options
 	AIDFD   aidfd.Options
 	Kivinen kivinen.Options
+	AFD     afd.Options
 }
 
 // DefaultTuning returns every algorithm's default configuration.
@@ -74,6 +78,7 @@ func DefaultTuning() Tuning {
 		HyFD:    hyfd.DefaultOptions(),
 		AIDFD:   aidfd.DefaultOptions(),
 		Kivinen: kivinen.DefaultOptions(),
+		AFD:     afd.DefaultOptions(),
 	}
 }
 
@@ -198,6 +203,45 @@ var registry = []entry{
 				return nil, "", err
 			}
 			return fds, fmt.Sprintf("sample=%d agreeSets=%d", st.SampleSize, st.AgreeSets), nil
+		},
+	},
+	{
+		info: Info{ID: AFDg3, Name: "AFD threshold", Exact: false,
+			Summary: "approximate FDs under an error budget, level-wise with anti-monotone pruning"},
+		run: func(ctx context.Context, enc *preprocess.Encoded, t Tuning) (*fdset.Set, string, error) {
+			opt := t.AFD
+			opt.TopK = 0 // force threshold mode regardless of tuning
+			scored, st, err := afd.Threshold(ctx, enc, opt)
+			if err != nil {
+				return nil, "", err
+			}
+			fds := fdset.NewSet()
+			for _, sf := range scored {
+				fds.Add(sf.FD)
+			}
+			return fds, fmt.Sprintf("measure=%s eps=%g candidates=%d results=%d",
+				st.Measure, st.Epsilon, st.Candidates, st.Results), nil
+		},
+	},
+	{
+		info: Info{ID: AFDTopK, Name: "AFD top-k", Exact: false,
+			Summary: "k best-scoring dependencies, EulerFD-seeded and ranked by error measure"},
+		run: func(ctx context.Context, enc *preprocess.Encoded, t Tuning) (*fdset.Set, string, error) {
+			opt := t.AFD
+			opt.Euler = t.Euler
+			if opt.TopK < 1 {
+				opt.TopK = afd.DefaultOptions().TopK
+			}
+			scored, st, err := afd.TopK(ctx, enc, opt)
+			if err != nil {
+				return nil, "", err
+			}
+			fds := fdset.NewSet()
+			for _, sf := range scored {
+				fds.Add(sf.FD)
+			}
+			return fds, fmt.Sprintf("measure=%s k=%d candidates=%d results=%d",
+				st.Measure, st.K, st.Candidates, st.Results), nil
 		},
 	},
 }

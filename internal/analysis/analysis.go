@@ -171,6 +171,7 @@ func GatedPackage(pkgPath string) bool {
 	}
 	switch pkgPath {
 	case "eulerfd",
+		"eulerfd/internal/afd",
 		"eulerfd/internal/algo",
 		"eulerfd/internal/core",
 		"eulerfd/internal/cover",

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"eulerfd/internal/afd"
+	"eulerfd/internal/datasets"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
+	"eulerfd/internal/regress/report"
+)
+
+// AFDDatasets are the registry corpora the AFD scoring benchmark runs
+// on: narrow enough that the size-≤2 LHS candidate sweep stays bounded,
+// varied enough to exercise both tall (abalone, nursery) and wide
+// (bridges) partition shapes.
+var AFDDatasets = []string{"iris", "balance-scale", "bridges", "chess", "abalone", "nursery"}
+
+// AFDCell is one (dataset, measure) measurement: the median-of-N wall
+// time to score every candidate FD with LHS of size one or two.
+type AFDCell struct {
+	Dataset    string  `json:"dataset"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	Measure    string  `json:"measure"`
+	Candidates int     `json:"candidates"`
+	Runs       int     `json:"runs"`
+	MedianMS   float64 `json:"median_ms"`
+	MinMS      float64 `json:"min_ms"`
+	MaxMS      float64 `json:"max_ms"`
+}
+
+// AFDReport is the JSON document fdbench -afd-json emits, with the same
+// schema-versioned envelope as the sampling report.
+type AFDReport struct {
+	Schema     int       `json:"schema"`
+	NumCPU     int       `json:"num_cpu"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Runs       int       `json:"runs"`
+	Cells      []AFDCell `json:"cells"`
+}
+
+// afdCandidates enumerates every non-trivial candidate with an LHS of
+// one or two attributes, in canonical order.
+func afdCandidates(ncols int) []fdset.FD {
+	var out []fdset.FD
+	for a := 0; a < ncols; a++ {
+		for rhs := 0; rhs < ncols; rhs++ {
+			if rhs != a {
+				out = append(out, fdset.NewFD([]int{a}, rhs))
+			}
+		}
+	}
+	for a := 0; a < ncols; a++ {
+		for b := a + 1; b < ncols; b++ {
+			for rhs := 0; rhs < ncols; rhs++ {
+				if rhs != a && rhs != b {
+					out = append(out, fdset.NewFD([]int{a, b}, rhs))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// afdCell times one full candidate sweep per run and reports the median.
+// The scorer (and its partition cache) is rebuilt for every run so each
+// run pays the same derivation cost; the spread between min and max then
+// reflects machine noise, not cache warm-up.
+func afdCell(enc *preprocess.Encoded, m afd.Measure, cands []fdset.FD, runs int) AFDCell {
+	times := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		s := afd.NewScorer(enc, 0)
+		start := time.Now()
+		for _, c := range cands {
+			s.Score(m, c.LHS, c.RHS)
+		}
+		times = append(times, report.Millis(time.Since(start)))
+	}
+	sort.Float64s(times)
+	return AFDCell{
+		Dataset: enc.Name, Rows: enc.NumRows, Cols: len(enc.Attrs),
+		Measure: string(m), Candidates: len(cands), Runs: runs,
+		MedianMS: times[len(times)/2], MinMS: times[0], MaxMS: times[len(times)-1],
+	}
+}
+
+// RunAFD benchmarks AFD scoring on AFDDatasets: for each corpus and each
+// error measure it scores every candidate with |LHS| ≤ 2 and reports the
+// median wall time over runs repetitions.
+func RunAFD(w io.Writer, runs int) AFDReport {
+	if runs < 1 {
+		runs = 5
+	}
+	rep := AFDReport{Schema: report.SchemaVersion, NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0), Runs: runs}
+	fmt.Fprintf(w, "AFD scoring: |LHS| <= 2 candidate sweep, median of %d runs\n", runs)
+	t := NewTable(w, []string{"dataset", "rows", "cols", "measure", "cands", "median", "min", "max"},
+		[]int{16, 8, 6, 8, 8, 10, 10, 10})
+	for _, name := range AFDDatasets {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			fmt.Fprintf(w, "afd: %v\n", err)
+			continue
+		}
+		enc := preprocess.Encode(d.Build())
+		cands := afdCandidates(len(enc.Attrs))
+		for _, m := range afd.Measures() {
+			c := afdCell(enc, m, cands, runs)
+			t.Row(c.Dataset, fmt.Sprint(c.Rows), fmt.Sprint(c.Cols), c.Measure,
+				fmt.Sprint(c.Candidates), fmt.Sprintf("%.1fms", c.MedianMS),
+				fmt.Sprintf("%.1fms", c.MinMS), fmt.Sprintf("%.1fms", c.MaxMS))
+			rep.Cells = append(rep.Cells, c)
+		}
+	}
+	return rep
+}
+
+// WriteAFDJSON writes the report as schema-versioned indented JSON.
+func WriteAFDJSON(w io.Writer, rep AFDReport) error {
+	return report.WriteJSON(w, rep)
+}
+
+// RunAFDToFile runs the AFD benchmark and writes the JSON report to
+// path. The output file is created up front so a bad path fails fast.
+func RunAFDToFile(w io.Writer, runs int, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := RunAFD(w, runs)
+	if err := WriteAFDJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// AFD is the fdbench experiment wrapper around RunAFD with the default
+// repetition count.
+func AFD(w io.Writer, r *Runner) { RunAFD(w, 0) }

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/afd"
+)
+
+func TestRunAFDSmoke(t *testing.T) {
+	saved := AFDDatasets
+	AFDDatasets = []string{"iris"} // one small dataset keeps the smoke fast
+	defer func() { AFDDatasets = saved }()
+
+	var buf bytes.Buffer
+	rep := RunAFD(&buf, 3)
+	if want := len(afd.Measures()); len(rep.Cells) != want {
+		t.Fatalf("want %d cells (one per measure), got %d", want, len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.Dataset != "iris" || c.Runs != 3 {
+			t.Errorf("cell header = %+v", c)
+		}
+		// iris has 5 columns: 5·4 single-LHS + 10·3 double-LHS candidates.
+		if c.Candidates != 50 {
+			t.Errorf("candidates = %d, want 50", c.Candidates)
+		}
+		if c.MinMS > c.MedianMS || c.MedianMS > c.MaxMS {
+			t.Errorf("times not ordered: %+v", c)
+		}
+	}
+	if !strings.Contains(buf.String(), "iris") {
+		t.Error("table output missing dataset row")
+	}
+
+	var out bytes.Buffer
+	if err := WriteAFDJSON(&out, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded AFDReport
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Schema != 1 || len(decoded.Cells) != len(rep.Cells) {
+		t.Error("JSON round trip lost fields")
+	}
+}

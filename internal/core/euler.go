@@ -56,6 +56,16 @@ type Options struct {
 	// sampling chunks merge in sweep order and per-RHS covers are
 	// independent — so parallelism is purely a wall-clock knob.
 	Workers int
+	// Epsilon is the error budget of approximate (AFD) discovery: a
+	// dependency is reported when its error under the chosen measure is
+	// ≤ Epsilon. Legal range: [0, 1] and not NaN, with 0 demanding exact
+	// FDs. Exact discovery ignores it.
+	Epsilon float64
+	// TopK, when positive, switches approximate discovery to ranking
+	// mode: report the K best-scoring candidates instead of everything
+	// under Epsilon. Legal range: ≥ 0, with 0 meaning threshold mode.
+	// Exact discovery ignores it.
+	TopK int
 	// DynamicCapaRanges enables runtime revision of the MLFQ capa ranges
 	// — the extension the paper's conclusion proposes as future work.
 	// Between sampling generations the queue thresholds are re-anchored
@@ -271,6 +281,20 @@ func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Op
 	out := pcover.FDs()
 	stats.PcoverSize = out.Len()
 	return out, stats, nil
+}
+
+// CandidatesEncodedContext runs the full double cycle and exports the
+// resulting Pcover as a sorted candidate slice — the seeding hook for
+// AFD top-k ranking (internal/afd), where EulerFD acts as the candidate
+// generator and the error-measure engine as the scorer. It is exactly
+// DiscoverEncodedContext with the set flattened to fdset.Set.Slice()
+// order, so candidates arrive canonically sorted and deduplicated.
+func CandidatesEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Options, obs Observer) ([]fdset.FD, Stats, error) {
+	fds, stats, err := DiscoverEncodedContext(ctx, enc, opt, obs)
+	if err != nil {
+		return nil, stats, err
+	}
+	return fds.Slice(), stats, nil
 }
 
 // runDoubleCycle is the shared engine of Figure 1: it admits evidence into

@@ -139,3 +139,14 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 func (inc *Incremental) FDs() *fdset.Set {
 	return inc.pcover.FDs()
 }
+
+// Snapshot returns an encoded view of every row absorbed so far, for
+// read-only consumers such as the AFD scorer (fdserve's /afds endpoint).
+// The snapshot shares the encoder's label storage — rows already encoded
+// are never mutated, and a later Append only writes beyond the
+// snapshot's length — so it stays valid and immutable even if more
+// batches are appended afterwards. It must not be taken concurrently
+// with a running AppendContext.
+func (inc *Incremental) Snapshot() *preprocess.Encoded {
+	return inc.encoder.Snapshot(inc.name)
+}

@@ -47,5 +47,11 @@ func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return &OptionError{Field: "Workers", Value: o.Workers, Reason: "worker count must be ≥ 0 (0 means all CPU cores)"}
 	}
+	if math.IsNaN(o.Epsilon) || o.Epsilon < 0 || o.Epsilon > 1 {
+		return &OptionError{Field: "Epsilon", Value: o.Epsilon, Reason: "error budget must be in [0, 1]"}
+	}
+	if o.TopK < 0 {
+		return &OptionError{Field: "TopK", Value: o.TopK, Reason: "result bound must be ≥ 0 (0 means threshold mode)"}
+	}
 	return nil
 }

@@ -1,0 +1,88 @@
+package fdset
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestScoredFDJSONRoundTrip(t *testing.T) {
+	in := []ScoredFD{
+		{FD: NewFD([]int{0, 2}, 4), Score: 0.25},
+		{FD: NewFD(nil, 1), Score: 0},
+	}
+	for _, s := range in {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", s, err)
+		}
+		var out ScoredFD
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if out != s {
+			t.Errorf("round trip %v -> %s -> %v", s, b, out)
+		}
+	}
+}
+
+func TestScoredFDWireShape(t *testing.T) {
+	b, err := json.Marshal(ScoredFD{FD: NewFD([]int{2, 0}, 4), Score: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"lhs":[0,2],"rhs":4,"score":0.5}`
+	if string(b) != want {
+		t.Errorf("wire = %s, want %s", b, want)
+	}
+	// Empty LHS must encode as [], not null, matching plain FD JSON.
+	b, err = json.Marshal(ScoredFD{FD: NewFD(nil, 0), Score: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := `{"lhs":[],"rhs":0,"score":1}`; string(b) != want {
+		t.Errorf("empty-LHS wire = %s, want %s", b, want)
+	}
+}
+
+func TestScoredFDUnmarshalValidates(t *testing.T) {
+	var s ScoredFD
+	if err := json.Unmarshal([]byte(`{"lhs":[-1],"rhs":0,"score":0}`), &s); err == nil {
+		t.Error("negative LHS index should fail")
+	}
+	if err := json.Unmarshal([]byte(`{"lhs":[0],"rhs":999,"score":0}`), &s); err == nil {
+		t.Error("out-of-range RHS should fail")
+	}
+}
+
+func TestSortScoredFDs(t *testing.T) {
+	fds := []ScoredFD{
+		{FD: NewFD([]int{1, 2}, 3), Score: 0.1},
+		{FD: NewFD([]int{0}, 3), Score: 0.9},
+		{FD: NewFD([]int{5}, 1), Score: 0.5},
+	}
+	SortScoredFDs(fds)
+	wantOrder := []FD{NewFD([]int{5}, 1), NewFD([]int{0}, 3), NewFD([]int{1, 2}, 3)}
+	for i, w := range wantOrder {
+		if fds[i].FD != w {
+			t.Fatalf("canonical order[%d] = %v, want %v", i, fds[i].FD, w)
+		}
+	}
+}
+
+func TestSortScoredFDsByScore(t *testing.T) {
+	fds := []ScoredFD{
+		{FD: NewFD([]int{1, 2}, 3), Score: 0.5},
+		{FD: NewFD([]int{0}, 3), Score: 0.5},
+		{FD: NewFD([]int{4}, 0), Score: 0.1},
+	}
+	SortScoredFDsByScore(fds)
+	want := []ScoredFD{
+		{FD: NewFD([]int{4}, 0), Score: 0.1},
+		{FD: NewFD([]int{0}, 3), Score: 0.5}, // canonical tie-break
+		{FD: NewFD([]int{1, 2}, 3), Score: 0.5},
+	}
+	if !reflect.DeepEqual(fds, want) {
+		t.Errorf("by-score order = %v, want %v", fds, want)
+	}
+}

@@ -2,6 +2,7 @@ package preprocess
 
 import (
 	"container/list"
+	"sync"
 
 	"eulerfd/internal/fdset"
 )
@@ -11,13 +12,27 @@ import (
 // that differ by single attributes; the cache derives a partition from a
 // cached neighbor with one refinement step instead of |X| steps from
 // scratch, which is the partition-reuse optimization of the original Dfd.
+//
+// The cache is safe for concurrent use: the AFD scorer (internal/afd)
+// shares one instance between HTTP request handlers and exact algorithms.
+// A single mutex covers the whole Get — including the refinement work —
+// because entries and order must not be observed mid-eviction, and
+// because a cached *StrippedPartition's Clusters are returned by
+// reference: serializing Get is what guarantees no caller receives a
+// partition while another mutates the structures around it. Callers must
+// treat returned partitions as immutable (the same contract as
+// Encoded.Partitions). Keys are fdset.AttrSet values, so the cache never
+// aliases a caller's set (I2): mutating the lookup set afterwards cannot
+// corrupt an entry.
 type PartitionCache struct {
-	enc     *Encoded
-	max     int
+	enc *Encoded
+	max int
+
+	mu      sync.Mutex
 	entries map[fdset.AttrSet]*list.Element
 	order   *list.List // front = most recent
 
-	// Stats
+	// Stats, guarded by mu; read them only after concurrent Gets settle.
 	Hits, Misses, Derived int
 }
 
@@ -42,7 +57,8 @@ func NewPartitionCache(enc *Encoded, max int) *PartitionCache {
 
 // Get returns the stripped partition of x, computing and caching it if
 // needed. Single-attribute partitions come straight from preprocessing
-// and are not cached (they are already materialized).
+// and are not cached (they are already materialized). The returned
+// partition is shared: callers must not mutate its clusters.
 func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
 	switch x.Count() {
 	case 0:
@@ -50,6 +66,8 @@ func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
 	case 1:
 		return c.enc.Partitions[x.First()]
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.entries[x]; ok {
 		c.Hits++
 		c.order.MoveToFront(el)
@@ -65,7 +83,7 @@ func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
 }
 
 // deriveFromNeighbor tries to build π_x with one refinement of a cached
-// partition of x minus one attribute.
+// partition of x minus one attribute. Callers must hold c.mu.
 func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition, bool) {
 	var derived StrippedPartition
 	found := false
@@ -90,6 +108,8 @@ func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition,
 	return derived, found
 }
 
+// put inserts an entry and evicts from the LRU tail. Callers must hold
+// c.mu.
 func (c *PartitionCache) put(x fdset.AttrSet, part StrippedPartition) {
 	c.entries[x] = c.order.PushFront(&cacheEntry{key: x, part: part})
 	for len(c.entries) > c.max {
@@ -100,7 +120,11 @@ func (c *PartitionCache) put(x fdset.AttrSet, part StrippedPartition) {
 }
 
 // Len returns the number of cached partitions.
-func (c *PartitionCache) Len() int { return len(c.entries) }
+func (c *PartitionCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
 
 // ConstantOn reports whether every cluster of part is constant on
 // attribute a — the validity check X → a given π_X.

@@ -1,0 +1,78 @@
+package preprocess
+
+// MeasureCounts are the raw per-partition tallies every AFD error measure
+// is computed from (internal/afd): how far π_X is from functionally
+// determining an attribute A. All counts come out of one pass over the
+// stripped partition, grouping each cluster by its A-labels:
+//
+//   - ViolatingRows is the g₃ numerator: rows that must be removed for
+//     X → A to hold exactly. Each X-cluster keeps its plurality A-value;
+//     everything else violates (Huhtala et al., Section 2.3).
+//   - ViolatingPairs is the g₁ numerator: ordered row pairs (u, v) with
+//     u[X] = v[X] but u[A] ≠ v[A] (Kivinen & Mannila). Within a cluster
+//     of size c whose A-groups have sizes g₁..g_m this is c² − Σ gᵢ².
+//   - GroupSqSum is Σ_clusters Σ_groups gᵢ²/c as an exact float: the
+//     stripped-cluster part of pdep(A|X) = Σ_x p(x) Σ_a p(a|x)². Rows in
+//     singleton X-clusters each contribute 1 to the full sum; use
+//     PdepFrom to fold them back in.
+//   - Covered is the number of rows the stripped partition covers
+//     (Sum()), needed to account for the dropped singletons.
+//
+// Rows in singleton X-clusters can never violate anything, which is why
+// stripped partitions lose no information for any of the measures.
+type MeasureCounts struct {
+	ViolatingRows  int
+	ViolatingPairs int64
+	GroupSqSum     float64
+	Covered        int
+}
+
+// CountViolations tallies MeasureCounts for the dependency X → a given
+// the stripped partition part = π_X. One scratch map serves every
+// cluster; per cluster the map only aggregates order-independent scalars
+// (max, sums), so map iteration order cannot reach the result. Within a
+// cluster the group squares are summed in integers before the single
+// float division, keeping GroupSqSum independent of summation order
+// (determinism invariant I1 extends to float low bits: AFD scores are
+// exact-match gated in the regression harness).
+func (e *Encoded) CountViolations(part StrippedPartition, a int) MeasureCounts {
+	var mc MeasureCounts
+	counts := make(map[int32]int)
+	for _, cluster := range part.Clusters {
+		// The plurality count grows monotonically while counting, so it
+		// can be tracked here instead of in the map sweep below — which
+		// then only accumulates commutative sums (invariant I1).
+		best := 0
+		for _, r := range cluster {
+			l := e.Labels[r][a]
+			counts[l]++
+			if counts[l] > best {
+				best = counts[l]
+			}
+		}
+		var sqSum int64
+		for l, c := range counts {
+			sqSum += int64(c) * int64(c)
+			delete(counts, l)
+		}
+		size := int64(len(cluster))
+		mc.ViolatingRows += len(cluster) - best
+		mc.ViolatingPairs += size*size - sqSum
+		mc.GroupSqSum += float64(sqSum) / float64(size)
+		mc.Covered += len(cluster)
+	}
+	return mc
+}
+
+// PdepFrom assembles pdep(A|X) ∈ (0, 1] from the counts of π_X over a
+// relation of numRows rows: the probability that two tuples drawn with
+// replacement from the same X-cluster agree on A, weighted by cluster
+// mass. Singleton X-clusters (numRows − Covered of them) determine A
+// trivially and contribute 1/numRows each. pdep is 1 exactly when X → A
+// holds.
+func (mc MeasureCounts) PdepFrom(numRows int) float64 {
+	if numRows == 0 {
+		return 1
+	}
+	return (mc.GroupSqSum + float64(numRows-mc.Covered)) / float64(numRows)
+}

@@ -119,7 +119,54 @@ func Diff(base, cur *Baseline, th Thresholds) *DiffResult {
 			})
 		}
 	}
+	diffAFD(d, base.AFD, cur.AFD)
 	return d
+}
+
+// diffAFD exact-match gates the approximate-FD cell: the scored result
+// set (including every float score digit) must reproduce the baseline.
+func diffAFD(d *DiffResult, base, cur *AFDCell) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.Warnings = append(d.Warnings, Finding{
+			Dataset: cur.Dataset, Field: "afd", Kind: "suite",
+			Note: "not in baseline (new AFD cell; re-record to start gating it)",
+		})
+		return
+	case cur == nil:
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: base.Dataset, Field: "afd", Kind: "suite",
+			Note: "baseline AFD cell missing from current run",
+		})
+		return
+	}
+	if base.Dataset != cur.Dataset || base.Measure != cur.Measure || base.Epsilon != cur.Epsilon {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "afd", Kind: "accuracy",
+			Note: fmt.Sprintf("AFD cell inputs changed: %s/%s/eps=%g → %s/%s/eps=%g",
+				base.Dataset, base.Measure, base.Epsilon, cur.Dataset, cur.Measure, cur.Epsilon),
+		})
+		return
+	}
+	if len(base.FDs) != len(cur.FDs) {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "afd",
+			Base: float64(len(base.FDs)), Got: float64(len(cur.FDs)),
+			Kind: "accuracy", Note: "AFD result count drift: deterministic score set changed",
+		})
+		return
+	}
+	for i := range base.FDs {
+		if base.FDs[i] != cur.FDs[i] {
+			d.Regressions = append(d.Regressions, Finding{
+				Dataset: cur.Dataset, Field: "afd", Kind: "accuracy",
+				Note: fmt.Sprintf("AFD score drift at %d: %q → %q", i, base.FDs[i], cur.FDs[i]),
+			})
+			return
+		}
+	}
 }
 
 func perfGating(base, cur *Baseline, th Thresholds) (bool, string) {

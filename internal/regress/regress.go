@@ -25,6 +25,7 @@ import (
 	"runtime"
 	"time"
 
+	"eulerfd/internal/afd"
 	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
@@ -124,6 +125,52 @@ type Baseline struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Workers    int          `json:"workers"`
 	Cells      []CellResult `json:"cells"`
+	// AFD is the approximate-FD cell; omitted by baselines recorded
+	// before the AFD engine existed (Diff then only warns).
+	AFD *AFDCell `json:"afd,omitempty"`
+}
+
+// AFDCell is the approximate-FD regression cell: threshold discovery on
+// one fixed corpus at a fixed error budget. The scored results render as
+// canonical strings with full float precision and are gated by exact
+// match — the AFD engine computes g3 from integer violation counts with
+// a single final division, so scores are bit-identical across runs and
+// machines.
+type AFDCell struct {
+	Dataset string   `json:"dataset"`
+	Measure string   `json:"measure"`
+	Epsilon float64  `json:"eps"`
+	FDs     []string `json:"fds"` // "lhs -> rhs score=…" in canonical FD order
+}
+
+// afdCellCorpus/afdCellEps pin the AFD cell's inputs. bridges is small
+// enough for an exhaustive lattice walk yet dirty enough that eps = 0.1
+// admits genuinely approximate dependencies alongside exact ones.
+const (
+	afdCellCorpus = "bridges"
+	afdCellEps    = 0.1
+)
+
+// runAFDCell measures the AFD regression cell.
+func runAFDCell() *AFDCell {
+	d, err := datasets.ByName(afdCellCorpus)
+	if err != nil {
+		panic(err) // registry name is a compile-time constant here
+	}
+	enc := preprocess.Encode(d.Build())
+	opt := afd.DefaultOptions()
+	opt.Measure = afd.G3
+	opt.Epsilon = afdCellEps
+	opt.TopK = 0
+	fds, _, err := afd.Threshold(context.Background(), enc, opt)
+	if err != nil {
+		panic(fmt.Sprintf("regress: afd cell failed: %v", err)) // background ctx, valid options
+	}
+	cell := &AFDCell{Dataset: afdCellCorpus, Measure: string(afd.G3), Epsilon: afdCellEps}
+	for _, sf := range fds {
+		cell.FDs = append(cell.FDs, fmt.Sprintf("%s score=%.9f", sf.FD.Format(enc.Attrs), sf.Score))
+	}
+	return cell
 }
 
 // Config controls a suite run.
@@ -170,6 +217,11 @@ func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
 			fmt.Fprintf(w, "%-24s rows=%-6d cols=%-4d F1=%.4f fds=%-6d total=%.1fms\n",
 				cell.Dataset, cell.Rows, cell.Cols, cell.Accuracy.F1, cell.Accuracy.FDs, cell.Perf.TotalMS)
 		}
+	}
+	b.AFD = runAFDCell()
+	if w != nil {
+		fmt.Fprintf(w, "afd:%-20s measure=%s eps=%g fds=%d\n",
+			b.AFD.Dataset, b.AFD.Measure, b.AFD.Epsilon, len(b.AFD.FDs))
 	}
 	return b
 }

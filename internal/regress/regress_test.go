@@ -3,6 +3,7 @@ package regress
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -38,6 +39,56 @@ func TestRunIsDeterministic(t *testing.T) {
 	}
 	if a.Schema != report.SchemaVersion {
 		t.Errorf("schema = %d", a.Schema)
+	}
+	// The AFD cell's rendered score set is bit-identical too.
+	if a.AFD == nil || b.AFD == nil {
+		t.Fatal("Run produced no AFD cell")
+	}
+	if !reflect.DeepEqual(a.AFD, b.AFD) {
+		t.Errorf("AFD cell differs across runs:\n%+v\n%+v", a.AFD, b.AFD)
+	}
+	if a.AFD.Dataset != afdCellCorpus || len(a.AFD.FDs) == 0 {
+		t.Errorf("AFD cell = %+v", a.AFD)
+	}
+}
+
+func TestDiffAFD(t *testing.T) {
+	cell := func() *AFDCell {
+		return &AFDCell{Dataset: "bridges", Measure: "g3", Epsilon: 0.1,
+			FDs: []string{"[A] -> B score=0.000000000", "[C] -> D score=0.092592593"}}
+	}
+	base, cur := synthetic(), synthetic()
+	base.AFD, cur.AFD = cell(), cell()
+	if d := Diff(base, cur, DefaultThresholds()); !d.Clean() {
+		t.Fatalf("identical AFD cells diffed dirty: %+v", d.Regressions)
+	}
+	// A single score digit drift is a regression.
+	cur.AFD.FDs[1] = "[C] -> D score=0.092592594"
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("score drift not gated")
+	}
+	// Count drift is a regression.
+	cur.AFD = cell()
+	cur.AFD.FDs = cur.AFD.FDs[:1]
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("count drift not gated")
+	}
+	// Changed cell inputs are a regression.
+	cur.AFD = cell()
+	cur.AFD.Epsilon = 0.2
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("input drift not gated")
+	}
+	// Missing from the current run: regression. Missing from the
+	// baseline (pre-AFD recording): warning only.
+	cur.AFD = nil
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("missing AFD cell not gated")
+	}
+	base.AFD, cur.AFD = nil, cell()
+	d := Diff(base, cur, DefaultThresholds())
+	if !d.Clean() || len(d.Warnings) == 0 {
+		t.Errorf("new AFD cell should warn, not gate: %+v", d.Regressions)
 	}
 }
 

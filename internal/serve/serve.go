@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"eulerfd/internal/afd"
 	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
@@ -100,6 +101,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/fds", s.handleFDs)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/afds", s.handleAFDs)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/progress", s.handleProgress)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
@@ -349,6 +351,9 @@ func (s *Server) finishJob(sess *session, jb *job, stats core.Stats, err error) 
 		jb.err = err.Error()
 	}
 	sess.cancel = nil
+	// Any terminal transition invalidates the AFD scorer: on success the
+	// relation grew, and cancelled/failed sessions stop answering.
+	sess.scorer = nil
 	done = doneDoc{Job: jb.id, State: sess.state, Code: jb.code, Error: jb.err}
 	sess.mu.Unlock()
 	sess.publish(event{name: "done", data: done})
@@ -427,6 +432,82 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, fdsDoc{Attrs: attrs, Count: fds.Len(), FDs: blob})
+}
+
+// handleAFDs answers approximate-FD queries against the last completed
+// result: ?eps= (threshold mode, default 0.05) discovers every minimal
+// dependency within the error budget, ?k= (top-k mode) ranks the
+// session's discovered FDs plus their one-attribute generalizations and
+// returns the k best. ?measure= selects the error measure (default g3;
+// threshold mode requires an anti-monotone one). The two modes are
+// mutually exclusive. Scoring honors the request context, so a client
+// disconnect abandons the walk at the next level boundary.
+func (s *Server) handleAFDs(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	measure, err := afd.ParseMeasure(q.Get("measure"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	epsStr, kStr := q.Get("eps"), q.Get("k")
+	if epsStr != "" && kStr != "" {
+		writeError(w, http.StatusBadRequest, "eps (threshold mode) and k (top-k mode) are mutually exclusive")
+		return
+	}
+	scorer, ready := sess.afdScorer(0)
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	doc := afdsDoc{Measure: string(measure), Mode: "threshold"}
+	var scored []fdset.ScoredFD
+	if kStr != "" {
+		k, kerr := strconv.Atoi(kStr)
+		if kerr != nil || k < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be a positive integer, got %q", kStr))
+			return
+		}
+		fds, _, _, _ := sess.snapshotResult()
+		doc.Mode = "topk"
+		doc.K = k
+		scored, err = scorer.Rank(r.Context(), measure, fds.Slice(), k)
+	} else {
+		eps := 0.05
+		if epsStr != "" {
+			eps, err = strconv.ParseFloat(epsStr, 64)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("eps must be a number, got %q", epsStr))
+				return
+			}
+		}
+		doc.Epsilon = eps
+		scored, err = scorer.Discover(r.Context(), measure, eps)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sess.mu.Lock()
+	doc.Attrs = sess.attrs
+	sess.mu.Unlock()
+	if scored == nil {
+		scored = []fdset.ScoredFD{}
+	}
+	doc.Count = len(scored)
+	doc.FDs = scored
+	writeJSON(w, http.StatusOK, doc)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 
+	"eulerfd/internal/afd"
 	"eulerfd/internal/core"
 	"eulerfd/internal/fdset"
 )
@@ -57,6 +58,12 @@ type session struct {
 	cancel  context.CancelFunc // cancels the running job
 	history []event
 	subs    []chan event // live SSE subscribers, in subscription order
+
+	// scorer serves /afds queries over the last completed result. Built
+	// lazily from an Incremental snapshot and shared by concurrent
+	// requests (afd.Scorer is concurrency-safe); finishJob drops it so
+	// the next query rebuilds over the grown relation.
+	scorer *afd.Scorer
 }
 
 // doc renders the session for the wire. Callers must not hold s.mu.
@@ -118,6 +125,24 @@ func (s *session) unsubscribe(ch chan event) {
 			return
 		}
 	}
+}
+
+// afdScorer returns the session's AFD scorer, building it on first use.
+// ok = false when the session has no completed result to score against.
+// Taking the Incremental snapshot under s.mu is safe: state == ready
+// means no job is in flight (startJob flips the state to queued under
+// this mutex before a job may touch inc), and the snapshot itself stays
+// valid even after later appends (see core.Incremental.Snapshot).
+func (s *session) afdScorer(cacheSize int) (*afd.Scorer, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateReady {
+		return nil, false
+	}
+	if s.scorer == nil {
+		s.scorer = afd.NewScorer(s.inc.Snapshot(), cacheSize)
+	}
+	return s.scorer, true
 }
 
 // snapshotResult returns the last completed result, or ok = false when

@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"eulerfd/internal/core"
+	"eulerfd/internal/fdset"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -69,6 +70,20 @@ type fdsDoc struct {
 	Attrs []string        `json:"attrs"`
 	Count int             `json:"count"`
 	FDs   json.RawMessage `json:"fds"`
+}
+
+// afdsDoc answers an approximate-FD query. FDs serialize as
+// {"lhs":[indices],"rhs":index,"score":error}: threshold mode lists
+// them in canonical FD order with eps echoed back, top-k mode lists
+// them best-error-first with k echoed back.
+type afdsDoc struct {
+	Attrs   []string         `json:"attrs"`
+	Measure string           `json:"measure"`
+	Mode    string           `json:"mode"`
+	Epsilon float64          `json:"eps,omitempty"`
+	K       int              `json:"k,omitempty"`
+	Count   int              `json:"count"`
+	FDs     []fdset.ScoredFD `json:"fds"`
 }
 
 // statsDoc carries the statistics of the last completed job.

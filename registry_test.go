@@ -8,8 +8,8 @@ import (
 
 func TestAlgorithmsRegistry(t *testing.T) {
 	infos := Algorithms()
-	if len(infos) != 10 {
-		t.Fatalf("Algorithms() = %d entries, want 10", len(infos))
+	if len(infos) != 12 {
+		t.Fatalf("Algorithms() = %d entries, want 12", len(infos))
 	}
 	if infos[0].ID != AlgoEuler {
 		t.Errorf("first registered algorithm = %q, want %q", infos[0].ID, AlgoEuler)
@@ -18,6 +18,7 @@ func TestAlgorithmsRegistry(t *testing.T) {
 		AlgoEuler: false, AlgoHyFD: true, AlgoTANE: true, AlgoFun: true,
 		AlgoDfd: true, AlgoFdep: true, AlgoDepMiner: true, AlgoFastFDs: true,
 		AlgoAIDFD: false, AlgoKivinen: false,
+		AlgoAFDg3: false, AlgoAFDTopK: false,
 	}
 	seen := map[AlgoID]bool{}
 	for _, info := range infos {
