@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-smoke bench-sampling bench-afd regress regress-record serve-smoke
+.PHONY: check build vet lint test race bench-smoke bench-sampling bench-afd bench-kernels regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -44,6 +44,10 @@ bench-sampling:
 # Regenerates the committed machine-readable AFD scoring benchmark.
 bench-afd:
 	$(GO) run ./cmd/fdbench -afd-json BENCH_afd.json
+
+# Regenerates the committed hot-path kernel micro-benchmark.
+bench-kernels:
+	$(GO) run ./cmd/fdbench -kernels-json BENCH_kernels.json
 
 # Regression gate: runs the canonical suite and diffs against the
 # committed BASELINE.json. Accuracy is exact-match gated; wall times are

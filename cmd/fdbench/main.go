@@ -11,6 +11,9 @@
 //	fdbench -json BENCH_sampling.json       # same, plus machine-readable report
 //	fdbench -exp afd                        # approximate-FD scoring bench
 //	fdbench -afd-json BENCH_afd.json        # same, plus machine-readable report
+//	fdbench -kernels-json BENCH_kernels.json  # hot-path kernel micro-bench
+//	fdbench -exp sampling -cpuprofile cpu.out -memprofile mem.out
+//	                                        # profile any run with go tool pprof
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"eulerfd/internal/bench"
+	"eulerfd/internal/prof"
 )
 
 func main() {
@@ -36,7 +40,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "EulerFD worker-pool size (0 = all CPU cores, 1 = sequential)")
 	jsonPath := fs.String("json", "", "run the sampling benchmark and write its report to this JSON file")
 	afdJSONPath := fs.String("afd-json", "", "run the AFD scoring benchmark and write its report to this JSON file")
+	kernelsJSONPath := fs.String("kernels-json", "", "run the kernel micro-benchmark and write its report to this JSON file")
 	runs := fs.Int("runs", 0, "AFD benchmark repetitions per cell (0 = default)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -47,9 +54,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" {
+	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" && *kernelsJSONPath == "" {
 		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
 		return 2
+	}
+
+	stopCPU, err := prof.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(stderr, "fdbench:", err)
+		return 1
+	}
+	exit := func(code int) int {
+		if err := stopCPU(); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return 1
+		}
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return 1
+		}
+		return code
 	}
 
 	runner := bench.NewRunner()
@@ -59,19 +83,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *jsonPath != "" {
 		if err := bench.RunSamplingToFile(stdout, runner, *workers, *jsonPath); err != nil {
 			fmt.Fprintln(stderr, "fdbench:", err)
-			return 1
+			return exit(1)
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
 	}
 	if *afdJSONPath != "" {
 		if err := bench.RunAFDToFile(stdout, *runs, *afdJSONPath); err != nil {
 			fmt.Fprintln(stderr, "fdbench:", err)
-			return 1
+			return exit(1)
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *afdJSONPath)
 	}
+	if *kernelsJSONPath != "" {
+		if err := bench.RunKernelsToFile(stdout, *kernelsJSONPath); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return exit(1)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *kernelsJSONPath)
+	}
 	if *exp == "" {
-		return 0
+		return exit(0)
 	}
 
 	ids := []string{*exp}
@@ -82,7 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fn, ok := bench.Experiments[id]
 		if !ok {
 			fmt.Fprintf(stderr, "fdbench: unknown experiment %q (see -list)\n", id)
-			return 2
+			return exit(2)
 		}
 		if i > 0 {
 			fmt.Fprintln(stdout)
@@ -91,5 +122,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fn(stdout, runner)
 		fmt.Fprintf(stdout, "[%s completed in %s]\n", id, time.Since(start).Round(time.Millisecond))
 	}
-	return 0
+	return exit(0)
 }

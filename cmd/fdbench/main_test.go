@@ -61,3 +61,34 @@ func TestRunAFDJSON(t *testing.T) {
 		t.Errorf("report = %+v", rep)
 	}
 }
+
+func TestRunKernelsJSONAndProfiles(t *testing.T) {
+	saved := bench.KernelDatasets
+	bench.KernelDatasets = []string{"iris"}
+	defer func() { bench.KernelDatasets = saved }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kernels.json")
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	var out, errw bytes.Buffer
+	if code := run([]string{"-kernels-json", path, "-cpuprofile", cpu, "-memprofile", mem}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep bench.KernelReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		t.Fatalf("invalid JSON report: %v", err)
+	}
+	if rep.Schema != 1 || len(rep.Cells) == 0 {
+		t.Fatalf("empty or unversioned report: %+v", rep)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}

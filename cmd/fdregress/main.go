@@ -9,6 +9,9 @@
 //	                 [-perf-floor 25] [-perf-mode auto|gate|warn|off]
 //	fdregress diff   [flags] OLD.json NEW.json
 //
+// record and check accept -cpuprofile FILE and -memprofile FILE to
+// capture runtime/pprof profiles of the suite run for go tool pprof.
+//
 // Accuracy fields (precision/recall/F1 against the exact TANE ground
 // truth, cover sizes, cycle counters) are exact-match gated: the
 // determinism suite guarantees bit-identical FD sets, so any drift is a
@@ -24,6 +27,7 @@ import (
 	"io"
 	"os"
 
+	"eulerfd/internal/prof"
 	"eulerfd/internal/regress"
 )
 
@@ -55,6 +59,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return usage(stderr)
 }
 
+// profFlags registers the runtime/pprof output flags shared by record
+// and check, and returns a runner that wraps the verb's work with
+// profile start/stop. The profile covers the whole verb, suite runs
+// included, so a perf regression flagged by check can be diagnosed by
+// re-running it with -cpuprofile.
+func profFlags(fs *flag.FlagSet) func(stderr io.Writer, verb func() int) int {
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
+	return func(stderr io.Writer, verb func() int) int {
+		stop, err := prof.StartCPU(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(stderr, "fdregress:", err)
+			return 1
+		}
+		code := verb()
+		if err := stop(); err != nil {
+			fmt.Fprintln(stderr, "fdregress:", err)
+			return 1
+		}
+		if err := prof.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(stderr, "fdregress:", err)
+			return 1
+		}
+		return code
+	}
+}
+
 func perfFlags(fs *flag.FlagSet) (*float64, *float64, *string) {
 	ratio := fs.Float64("perf-ratio", 3.0, "fail a module time exceeding baseline*ratio")
 	floor := fs.Float64("perf-floor", 25, "noise floor in ms: baselines below it are clamped up before the ratio test")
@@ -77,16 +108,19 @@ func runRecord(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("o", "BASELINE.json", "output path")
 	runs := fs.Int("runs", 5, "timed runs per cell (median is recorded)")
 	workers := fs.Int("workers", 0, "EulerFD worker-pool size (0 = all CPU cores)")
+	profiled := profFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	b := regress.Run(regress.DefaultSuite(), regress.Config{Runs: *runs, Workers: *workers}, stdout)
-	if err := regress.Save(*out, b); err != nil {
-		fmt.Fprintln(stderr, "fdregress:", err)
-		return 1
-	}
-	fmt.Fprintf(stdout, "wrote %s (%d cells, %d runs each)\n", *out, len(b.Cells), *runs)
-	return 0
+	return profiled(stderr, func() int {
+		b := regress.Run(regress.DefaultSuite(), regress.Config{Runs: *runs, Workers: *workers}, stdout)
+		if err := regress.Save(*out, b); err != nil {
+			fmt.Fprintln(stderr, "fdregress:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s (%d cells, %d runs each)\n", *out, len(b.Cells), *runs)
+		return 0
+	})
 }
 
 func runCheck(args []string, stdout, stderr io.Writer) int {
@@ -96,6 +130,7 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 	runs := fs.Int("runs", 3, "timed runs per cell (median is compared)")
 	workers := fs.Int("workers", 0, "EulerFD worker-pool size (0 = all CPU cores)")
 	ratio, floor, mode := perfFlags(fs)
+	profiled := profFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -108,14 +143,16 @@ func runCheck(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "fdregress:", err)
 		return 1
 	}
-	cur := regress.Run(regress.DefaultSuite(), regress.Config{Runs: *runs, Workers: *workers}, stdout)
-	fmt.Fprintln(stdout)
-	d := regress.Diff(base, cur, th)
-	d.WriteTable(stdout)
-	if !d.Clean() {
-		return 1
-	}
-	return 0
+	return profiled(stderr, func() int {
+		cur := regress.Run(regress.DefaultSuite(), regress.Config{Runs: *runs, Workers: *workers}, stdout)
+		fmt.Fprintln(stdout)
+		d := regress.Diff(base, cur, th)
+		d.WriteTable(stdout)
+		if !d.Clean() {
+			return 1
+		}
+		return 0
+	})
 }
 
 func runDiff(args []string, stdout, stderr io.Writer) int {

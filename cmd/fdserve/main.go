@@ -10,6 +10,7 @@
 //	-workers 0             per-job worker pool (0 = all cores, 1 = sequential)
 //	-timeout 0             per-job deadline (e.g. 30s; 0 = none)
 //	-cycle-delay 0         artificial pause per progress event (testing)
+//	-pprof                 mount net/http/pprof under /debug/pprof/
 //	-smoke                 boot on a random port, run the end-to-end
 //	                       self-test against it, and exit
 //
@@ -64,6 +65,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	workers := fs.Int("workers", 0, "per-job worker pool (0 = all cores, 1 = sequential)")
 	timeout := fs.Duration("timeout", 0, "per-job deadline (0 = none)")
 	cycleDelay := fs.Duration("cycle-delay", 0, "artificial pause per progress event")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	smoke := fs.Bool("smoke", false, "boot on a random port, self-test, exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Euler:       opt,
 		JobTimeout:  *timeout,
 		CycleDelay:  *cycleDelay,
+		Pprof:       *pprofOn,
 	}
 
 	if *smoke {

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"eulerfd/internal/fdset"
@@ -25,6 +26,13 @@ type Scorer struct {
 	// concurrent Score calls only read it.
 	attrPdep []float64
 
+	// scratch hands out measure-kernel state to concurrent Score calls.
+	// Scratches are reused, so steady-state scoring allocates nothing per
+	// candidate; which goroutine gets which scratch never influences a
+	// score (scratch carries no results across calls), so determinism
+	// invariant I4 is untouched.
+	scratch sync.Pool
+
 	// scored counts Score calls; atomic because a Scorer may serve
 	// concurrent requests.
 	scored atomic.Int64
@@ -38,6 +46,7 @@ func NewScorer(enc *preprocess.Encoded, cacheSize int) *Scorer {
 		cache:    preprocess.NewPartitionCache(enc, cacheSize),
 		attrPdep: make([]float64, len(enc.Attrs)),
 	}
+	s.scratch.New = func() any { return preprocess.NewMeasureScratch() }
 	n := enc.NumRows
 	for a := range enc.Attrs {
 		if n == 0 {
@@ -69,17 +78,67 @@ func (s *Scorer) Scored() int { return int(s.scored.Load()) }
 // Score returns the error of lhs → rhs under measure m, in [0, 1] with 0
 // meaning the dependency holds exactly. Trivial dependencies (rhs ∈ lhs)
 // and empty relations score 0. m must be a valid Measure; Score panics
-// on an unknown one (callers validate at the API boundary).
+// on an unknown one (callers validate at the API boundary). Steady-state
+// Score calls allocate nothing: the partition comes from the shared
+// cache and the measure kernel runs on pooled scratch.
 func (s *Scorer) Score(m Measure, lhs fdset.AttrSet, rhs int) float64 {
+	if !m.Valid() {
+		panic(fmt.Sprintf("afd: Score called with invalid measure %q", string(m)))
+	}
+	mc, n, trivial := s.counts(lhs, rhs)
+	if trivial {
+		return 0
+	}
+	return s.measureFrom(m, mc, rhs, n)
+}
+
+// Scores carries the error of one candidate under every measure,
+// computed from a single partition walk.
+type Scores struct {
+	G3   float64 `json:"g3"`
+	G1   float64 `json:"g1"`
+	Pdep float64 `json:"pdep"`
+	Tau  float64 `json:"tau"`
+}
+
+// ScoreAll evaluates lhs → rhs under all four measures at once. The
+// tallies of every measure fall out of the same stripped-partition pass
+// (preprocess.MeasureCounts), so ScoreAll costs one walk where four
+// Score calls would cost four.
+func (s *Scorer) ScoreAll(lhs fdset.AttrSet, rhs int) Scores {
+	mc, n, trivial := s.counts(lhs, rhs)
+	if trivial {
+		return Scores{}
+	}
+	return Scores{
+		G3:   s.measureFrom(G3, mc, rhs, n),
+		G1:   s.measureFrom(G1, mc, rhs, n),
+		Pdep: s.measureFrom(Pdep, mc, rhs, n),
+		Tau:  s.measureFrom(Tau, mc, rhs, n),
+	}
+}
+
+// counts runs the fused measure kernel for one candidate: one partition
+// lookup, one walk, every tally. trivial is true for rhs ∈ lhs and empty
+// relations, which score 0 under every measure.
+func (s *Scorer) counts(lhs fdset.AttrSet, rhs int) (mc preprocess.MeasureCounts, n int, trivial bool) {
 	s.scored.Add(1)
 	if lhs.Has(rhs) {
-		return 0
+		return mc, 0, true
 	}
-	n := s.enc.NumRows
+	n = s.enc.NumRows
 	if n == 0 {
-		return 0
+		return mc, 0, true
 	}
-	mc := s.enc.CountViolations(s.cache.Get(lhs), rhs)
+	part := s.cache.Get(lhs)
+	sc := s.scratch.Get().(*preprocess.MeasureScratch)
+	mc = s.enc.CountViolationsWith(part, rhs, sc)
+	s.scratch.Put(sc)
+	return mc, n, false
+}
+
+// measureFrom maps the fused tallies to one measure's error value.
+func (s *Scorer) measureFrom(m Measure, mc preprocess.MeasureCounts, rhs, n int) float64 {
 	switch m {
 	case G3:
 		return float64(mc.ViolatingRows) / float64(n)
@@ -96,7 +155,7 @@ func (s *Scorer) Score(m Measure, lhs fdset.AttrSet, rhs int) float64 {
 		}
 		return clamp01(1 - (mc.PdepFrom(n)-base)/(1-base))
 	}
-	panic(fmt.Sprintf("afd: Score called with invalid measure %q", string(m)))
+	panic(fmt.Sprintf("afd: invalid measure %q", string(m)))
 }
 
 // clamp01 pins float rounding residue back into [0, 1].

@@ -28,12 +28,14 @@ var Experiments = map[string]func(w io.Writer, r *Runner){
 	"table5":   Table5,
 	"sampling": Sampling,
 	"afd":      AFD,
+	"kernels":  Kernels,
 }
 
 // ExperimentIDs lists the experiment ids in paper order; "sampling" (the
-// parallel-engine benchmark) and "afd" (the approximate-FD scoring
-// benchmark), both not from the paper, run last.
-var ExperimentIDs = []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "sampling", "afd"}
+// parallel-engine benchmark), "afd" (the approximate-FD scoring
+// benchmark), and "kernels" (the hot-path micro-benchmark), none from
+// the paper, run last.
+var ExperimentIDs = []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "sampling", "afd", "kernels"}
 
 // Table3 reproduces Table III: runtime and F1 of all five algorithms on
 // the 19 benchmark datasets. Exact algorithms are skipped ("TL") on

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"eulerfd/internal/datasets"
+	"eulerfd/internal/preprocess"
+	"eulerfd/internal/regress/report"
+)
+
+// KernelDatasets are the registry corpora the kernel micro-benchmark
+// runs on: the sampling-dominant shapes whose hot loops the batched
+// kernels were built for.
+var KernelDatasets = []string{"chess", "abalone", "nursery"}
+
+// KernelCell is one (kernel, dataset) micro-measurement: the mean wall
+// time of a single kernel invocation over a fixed-shape operand, plus
+// its steady-state allocation count. Items is the work of one
+// invocation (pairs for the agree kernel, covered rows for the joins),
+// so ns_per_item is comparable across datasets.
+type KernelCell struct {
+	Kernel      string  `json:"kernel"`
+	Dataset     string  `json:"dataset"`
+	Rows        int     `json:"rows"`
+	Cols        int     `json:"cols"`
+	Items       int     `json:"items_per_op"`
+	Iters       int     `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	NsPerItem   float64 `json:"ns_per_item"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// KernelReport is the JSON document fdbench -kernels-json emits, with
+// the same schema-versioned envelope as the sampling and AFD reports.
+type KernelReport struct {
+	Schema     int          `json:"schema"`
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Cells      []KernelCell `json:"cells"`
+}
+
+// kernelBudget is the wall-clock target per cell; enough iterations run
+// to fill it, so fast kernels are measured over many invocations.
+const kernelBudget = 100 * time.Millisecond
+
+// timeKernel measures fn's mean invocation time within the budget and
+// its steady-state allocations (mallocs across a fixed run, after one
+// warm-up call that grows scratch buffers to their high-water mark).
+func timeKernel(fn func()) (iters int, nsPerOp, allocsPerOp float64) {
+	fn() // warm up
+	const allocRuns = 32
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocRuns; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / allocRuns
+
+	start := time.Now()
+	for elapsed := time.Duration(0); elapsed < kernelBudget; elapsed = time.Since(start) {
+		fn()
+		iters++
+	}
+	return iters, float64(time.Since(start).Nanoseconds()) / float64(iters), allocsPerOp
+}
+
+// kernelOps builds the three hot-path operations for one encoding:
+// the single-word agree-window sweep over the largest cluster, the
+// hash-join partition product of the two widest single-attribute
+// partitions, and the fused measure pass over one of them.
+func kernelOps(enc *preprocess.Encoded) []struct {
+	name  string
+	items int
+	fn    func()
+} {
+	// Largest cluster: where window sweeps spend their time.
+	var cluster []int32
+	for _, c := range enc.AllClusters() {
+		if len(c.Rows) > len(cluster) {
+			cluster = c.Rows
+		}
+	}
+	// Two widest single-attribute partitions: a representative join.
+	a, b := -1, -1
+	for i := range enc.Partitions {
+		s := enc.Partitions[i].Sum()
+		if a < 0 || s > enc.Partitions[a].Sum() {
+			a, b = i, a
+		} else if b < 0 || s > enc.Partitions[b].Sum() {
+			b = i
+		}
+	}
+	pairs := len(cluster) - 1
+	words := make([]uint64, max(pairs, 0))
+	jsc := preprocess.NewJoinScratch()
+	msc := preprocess.NewMeasureScratch()
+	p, q := enc.Partitions[a], enc.Partitions[b]
+	rhs := b
+	return []struct {
+		name  string
+		items int
+		fn    func()
+	}{
+		{"agree-window", pairs, func() { enc.AgreeWindowWords(cluster, 2, 0, pairs, words) }},
+		{"product", p.Sum() + q.Sum(), func() { preprocess.ProductWith(p, q, enc.NumRows, jsc) }},
+		{"measure", p.Sum(), func() { enc.CountViolationsWith(p, rhs, msc) }},
+	}
+}
+
+// RunKernels micro-benchmarks the three allocation-free hot-path
+// kernels (agree-window, product, measure) on KernelDatasets and
+// reports per-invocation and per-item costs plus steady-state
+// allocation counts. The numbers contextualize the end-to-end sampling
+// and AFD benchmarks: when those move, this report says which kernel
+// moved.
+func RunKernels(w io.Writer) KernelReport {
+	rep := KernelReport{Schema: report.SchemaVersion, NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	fmt.Fprintf(w, "Hot-path kernels: per-invocation cost, %v budget per cell\n", kernelBudget)
+	t := NewTable(w, []string{"kernel", "dataset", "rows", "cols", "items/op", "ns/op", "ns/item", "allocs/op"},
+		[]int{14, 16, 8, 6, 10, 12, 9, 10})
+	for _, name := range KernelDatasets {
+		d, err := datasets.ByName(name)
+		if err != nil {
+			fmt.Fprintf(w, "kernels: %v\n", err)
+			continue
+		}
+		enc := preprocess.Encode(d.Build())
+		for _, op := range kernelOps(enc) {
+			if op.items <= 0 {
+				continue
+			}
+			iters, nsPerOp, allocs := timeKernel(op.fn)
+			c := KernelCell{
+				Kernel: op.name, Dataset: enc.Name, Rows: enc.NumRows, Cols: len(enc.Attrs),
+				Items: op.items, Iters: iters, NsPerOp: nsPerOp,
+				NsPerItem: nsPerOp / float64(op.items), AllocsPerOp: allocs,
+			}
+			t.Row(c.Kernel, c.Dataset, fmt.Sprint(c.Rows), fmt.Sprint(c.Cols),
+				fmt.Sprint(c.Items), fmt.Sprintf("%.0f", c.NsPerOp),
+				fmt.Sprintf("%.2f", c.NsPerItem), fmt.Sprintf("%.1f", c.AllocsPerOp))
+			rep.Cells = append(rep.Cells, c)
+		}
+	}
+	return rep
+}
+
+// WriteKernelsJSON writes the report as schema-versioned indented JSON.
+func WriteKernelsJSON(w io.Writer, rep KernelReport) error {
+	return report.WriteJSON(w, rep)
+}
+
+// RunKernelsToFile runs the kernel benchmark and writes the JSON report
+// to path. The output file is created up front so a bad path fails fast.
+func RunKernelsToFile(w io.Writer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := RunKernels(w)
+	if err := WriteKernelsJSON(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Kernels is the fdbench experiment wrapper around RunKernels.
+func Kernels(w io.Writer, r *Runner) { RunKernels(w) }

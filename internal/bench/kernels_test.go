@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"eulerfd/internal/regress/report"
+)
+
+func TestRunKernelsSmoke(t *testing.T) {
+	saved := KernelDatasets
+	KernelDatasets = []string{"abalone"} // one small dataset keeps the smoke fast
+	defer func() { KernelDatasets = saved }()
+
+	var buf bytes.Buffer
+	rep := RunKernels(&buf)
+	if len(rep.Cells) != 3 {
+		t.Fatalf("want 3 cells (agree-window, product, measure), got %d", len(rep.Cells))
+	}
+	byKernel := map[string]KernelCell{}
+	for _, c := range rep.Cells {
+		if c.Iters <= 0 || c.NsPerOp <= 0 || c.Items <= 0 {
+			t.Errorf("%s: degenerate cell %+v", c.Kernel, c)
+		}
+		byKernel[c.Kernel] = c
+	}
+	// The allocation-discipline contract the kernels were built around:
+	// sweeps and measure passes are alloc-free, a product allocates only
+	// its two-piece retained output.
+	for _, k := range []string{"agree-window", "measure"} {
+		if c, ok := byKernel[k]; !ok {
+			t.Errorf("missing kernel %q", k)
+		} else if c.AllocsPerOp != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", k, c.AllocsPerOp)
+		}
+	}
+	if c, ok := byKernel["product"]; !ok {
+		t.Error("missing kernel \"product\"")
+	} else if c.AllocsPerOp > 2 {
+		t.Errorf("product: %.1f allocs/op, want <= 2 (output only)", c.AllocsPerOp)
+	}
+
+	var out bytes.Buffer
+	if err := WriteKernelsJSON(&out, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded KernelReport
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != report.SchemaVersion {
+		t.Errorf("schema = %d, want %d", decoded.Schema, report.SchemaVersion)
+	}
+	if len(decoded.Cells) != len(rep.Cells) {
+		t.Errorf("round trip lost cells: %d != %d", len(decoded.Cells), len(rep.Cells))
+	}
+}

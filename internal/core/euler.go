@@ -271,7 +271,7 @@ func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Op
 	err := runDoubleCycle(ctx, opt, sampler, ncover, pcover, seed, first, ncols, drain, pl, &stats, obs)
 
 	stats.PairsCompared = sampler.PairsCompared
-	stats.AgreeSets = len(sampler.seen)
+	stats.AgreeSets = sampler.SeenCount()
 	stats.NcoverSize = ncover.Size()
 	stats.PcoverSize = pcover.Size()
 	encStart.SetTo(&stats.Total)
@@ -339,7 +339,7 @@ func runDoubleCycle(ctx context.Context, opt Options, sampler *Sampler, ncover *
 			Rows:          stats.Rows,
 			Cols:          stats.Cols,
 			PairsCompared: sampler.PairsCompared,
-			AgreeSets:     len(sampler.seen),
+			AgreeSets:     sampler.SeenCount(),
 			NcoverSize:    ncover.Size(),
 			PcoverSize:    pcover.Size(),
 			SampleBatches: stats.SampleBatches,

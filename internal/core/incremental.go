@@ -128,7 +128,7 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 	err := runDoubleCycle(ctx, inc.opt, sampler, inc.ncover, inc.pcover, seed, first, inc.ncols, drain, pl, &stats, obs)
 
 	stats.PairsCompared = sampler.PairsCompared
-	stats.AgreeSets = len(sampler.seen)
+	stats.AgreeSets = sampler.SeenCount()
 	stats.NcoverSize = inc.ncover.Size()
 	stats.PcoverSize = inc.pcover.Size()
 	start.SetTo(&stats.Total)

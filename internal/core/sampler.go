@@ -6,6 +6,7 @@ package core
 
 import (
 	"math"
+	"math/bits"
 
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/pool"
@@ -161,8 +162,19 @@ type Sampler struct {
 	clusters []*clusterState
 	// seen deduplicates sampled evidence at the agree-set level: the
 	// disagree set of a pair is always the complement of its agree set,
-	// so one agree set fully determines the pair's non-FDs.
-	seen map[fdset.AttrSet]struct{}
+	// so one agree set fully determines the pair's non-FDs. Relations of
+	// ≤ 64 columns (word == true, every dataset in the evaluation) dedup
+	// on raw uint64 agree masks in seenW instead — probing an 8-byte key
+	// is markedly cheaper than hashing a 48-byte AttrSet, and the mask ↔
+	// AttrSet mapping is bijective below 64 columns so the two tables
+	// record exactly the same evidence.
+	seen  map[fdset.AttrSet]struct{}
+	seenW map[uint64]struct{}
+	word  bool
+
+	// words is the scratch buffer of the sequential batched kernel
+	// (samplePass); grown once to the batch size and reused forever.
+	words []uint64
 
 	numQueues int
 	recentLen int
@@ -185,23 +197,30 @@ type Sampler struct {
 	// chunks sequentially into seen, so dedup, capa accounting, and requeue
 	// decisions are bit-identical to the sequential path.
 	pool   *pool.Pool
-	chunks []passChunk // per-chunk scratch, reused across passes
+	chunks []passChunk // per-chunk result scratch, reused across passes
+	// Per-worker dedup maps, indexed by the pool worker id (pool.DoIndexed):
+	// map *contents* are chunk-local (cleared at chunk start), so only the
+	// allocation is shared across chunks — which worker's map serves which
+	// chunk cannot influence the chunk's uniq list.
+	localSets  []map[fdset.AttrSet]struct{}
+	localWords []map[uint64]struct{}
 
 	// Stats
 	PairsCompared int
 	Passes        int
 }
 
-// passChunk is the scratch state of one parallel chunk of a window sweep.
-// Each concurrent chunk owns exactly one passChunk, so workers never share
-// mutable state; buffers are reused across passes to keep allocation off
-// the hot path.
+// passChunk is the result scratch of one parallel chunk of a window
+// sweep. Each concurrent chunk owns exactly one passChunk, so workers
+// never share mutable result state; buffers are reused across passes to
+// keep allocation off the hot path. words carries the single-word fast
+// path (≤ 64 columns), sets/counts the wide path.
 type passChunk struct {
 	from, to int // window positions [from, to) of this chunk
+	words    []uint64
 	sets     []fdset.AttrSet
 	counts   []int32
-	uniq     []int32 // indices into sets of first-in-chunk occurrences
-	local    map[fdset.AttrSet]struct{}
+	uniq     []int32 // indices into words/sets of first-in-chunk occurrences
 }
 
 // Chunking constants of the parallel pass: sweeps shorter than
@@ -222,9 +241,14 @@ func NewSampler(enc *preprocess.Encoded, numQueues, recentLen int) *Sampler {
 	s := &Sampler{
 		enc:       enc,
 		queue:     NewMLFQ(numQueues),
-		seen:      make(map[fdset.AttrSet]struct{}),
+		word:      len(enc.Attrs) <= 64,
 		numQueues: numQueues,
 		recentLen: recentLen,
+	}
+	if s.word {
+		s.seenW = make(map[uint64]struct{})
+	} else {
+		s.seen = make(map[fdset.AttrSet]struct{})
 	}
 	for _, c := range enc.AllClusters() {
 		s.clusters = append(s.clusters, newClusterState(c, recentLen))
@@ -235,6 +259,15 @@ func NewSampler(enc *preprocess.Encoded, numQueues, recentLen int) *Sampler {
 // SetPool attaches a worker pool for parallel pass execution. A nil pool
 // (or never calling SetPool) keeps the exact sequential path.
 func (s *Sampler) SetPool(p *pool.Pool) { s.pool = p }
+
+// SeenCount returns the number of distinct agree sets sampled so far,
+// whichever dedup table is active.
+func (s *Sampler) SeenCount() int {
+	if s.word {
+		return len(s.seenW)
+	}
+	return len(s.seen)
+}
 
 // Exhausted reports whether no further pairs can ever be produced: the
 // MLFQ is empty and every cluster has used all window sizes.
@@ -322,6 +355,11 @@ func (s *Sampler) Batch(quotaPairs int) []fdset.AttrSet {
 	return found
 }
 
+// sampleBatchPairs is the batch size of the sequential word-path kernel:
+// large enough to amortize the call into preprocess and keep the mask
+// buffer resident in L1, small enough not to bloat the scratch.
+const sampleBatchPairs = 4096
+
 // samplePass advances the cluster's sliding window by up to maxPairs pair
 // comparisons (unbounded when maxPairs < 0). When the window completes its
 // sweep the pass ends: capa is recorded and the window widens by one; an
@@ -340,18 +378,12 @@ func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrS
 	if s.pool != nil && n >= parallelMinPairs {
 		return s.samplePassParallel(c, n, last, found)
 	}
-	for k := 0; k < n; k++ {
-		i, j := c.rows[c.pos], c.rows[c.pos+c.window-1]
-		agree := s.enc.AgreeSet(int(i), int(j))
-		c.passPairs++
-		if _, dup := s.seen[agree]; !dup {
-			s.seen[agree] = struct{}{}
-			*found = append(*found, agree)
-			// A pair disagreeing on k attributes witnesses k non-FDs.
-			c.passNew += len(s.enc.Attrs) - agree.Count()
-		}
-		c.pos++
+	if s.word {
+		s.sweepWord(c, n, found)
+	} else {
+		s.sweepWide(c, n, found)
 	}
+	c.passPairs += n
 	s.PairsCompared += n
 	if c.pos <= last {
 		return n // interrupted by the quota; the caller resumes later
@@ -360,14 +392,67 @@ func (s *Sampler) samplePass(c *clusterState, maxPairs int, found *[]fdset.AttrS
 	return n
 }
 
+// sweepWord advances n pairs of the sweep on the single-word fast path:
+// agree masks are computed in batches by the branch-free kernel, runs of
+// identical consecutive masks — the common case on low-cardinality data —
+// are skipped as guaranteed duplicates, and only run heads probe the
+// dedup table. Popcount runs only for globally-new masks, where the
+// per-pair work (one append, one map insert) dwarfs it anyway.
+func (s *Sampler) sweepWord(c *clusterState, n int, found *[]fdset.AttrSet) {
+	ncols := len(s.enc.Attrs)
+	if cap(s.words) < sampleBatchPairs {
+		s.words = make([]uint64, sampleBatchPairs)
+	}
+	for n > 0 {
+		m := n
+		if m > sampleBatchPairs {
+			m = sampleBatchPairs
+		}
+		words := s.words[:m]
+		s.enc.AgreeWindowWords(c.rows, c.window, c.pos, c.pos+m, words)
+		for i := 0; i < m; i++ {
+			w := words[i]
+			if i > 0 && w == words[i-1] {
+				continue
+			}
+			if _, dup := s.seenW[w]; !dup {
+				s.seenW[w] = struct{}{}
+				*found = append(*found, fdset.FromWord(w))
+				// A pair disagreeing on k attributes witnesses k non-FDs.
+				c.passNew += ncols - bits.OnesCount64(w)
+			}
+		}
+		c.pos += m
+		n -= m
+	}
+}
+
+// sweepWide is the > 64-column sequential sweep, deduplicating whole
+// AttrSets.
+func (s *Sampler) sweepWide(c *clusterState, n int, found *[]fdset.AttrSet) {
+	ncols := len(s.enc.Attrs)
+	for k := 0; k < n; k++ {
+		i, j := c.rows[c.pos], c.rows[c.pos+c.window-1]
+		agree := s.enc.AgreeSet(int(i), int(j))
+		if _, dup := s.seen[agree]; !dup {
+			s.seen[agree] = struct{}{}
+			*found = append(*found, agree)
+			c.passNew += ncols - agree.Count()
+		}
+		c.pos++
+	}
+}
+
 // samplePassParallel runs n pairs of the sweep through the worker pool:
 // the position range is cut into chunks, each worker computes its chunk's
-// agree sets with the batched kernel into private buffers and dedups them
-// against a chunk-local set, and the coordinator merges chunks in position
-// order against the global seen map. Because merge order equals sweep
-// order and chunk-local dedup only elides pairs the sequential path would
-// also have classified as duplicates, found order, capa accounting, and
-// all statistics are bit-identical to the sequential path.
+// agree masks (≤ 64 columns) or sets with the batched kernel into the
+// chunk's private buffers and dedups them against its per-worker map
+// (contents cleared per chunk, so worker identity cannot reach the uniq
+// list), and the coordinator merges chunks in position order against the
+// global seen table. Because merge order equals sweep order and
+// chunk-local dedup only elides pairs the sequential path would also
+// have classified as duplicates, found order, capa accounting, and all
+// statistics are bit-identical to the sequential path.
 func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdset.AttrSet) int {
 	chunk := (n + s.pool.Workers() - 1) / s.pool.Workers()
 	if chunk < parallelChunkPairs {
@@ -385,42 +470,91 @@ func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdse
 		}
 		s.chunks[k].from, s.chunks[k].to = from, to
 	}
-	s.pool.Do(numChunks, func(k int) {
-		ch := &s.chunks[k]
-		m := ch.to - ch.from
-		if cap(ch.sets) < m {
-			ch.sets = make([]fdset.AttrSet, m)
-			ch.counts = make([]int32, m)
-		}
-		ch.sets, ch.counts = ch.sets[:m], ch.counts[:m]
-		s.enc.AgreeWindowInto(c.rows, c.window, ch.from, ch.to, ch.sets, ch.counts)
-		if ch.local == nil {
-			ch.local = make(map[fdset.AttrSet]struct{}, m)
-		} else {
-			clear(ch.local)
-		}
-		ch.uniq = ch.uniq[:0]
-		for i := 0; i < m; i++ {
-			// Window sweeps over low-cardinality data produce long runs of
-			// identical agree sets; a run is one map probe, not m.
-			if i > 0 && ch.sets[i] == ch.sets[i-1] {
-				continue
-			}
-			if _, dup := ch.local[ch.sets[i]]; !dup {
-				ch.local[ch.sets[i]] = struct{}{}
-				ch.uniq = append(ch.uniq, int32(i))
-			}
-		}
-	})
 	ncols := len(s.enc.Attrs)
-	for k := 0; k < numChunks; k++ {
-		ch := &s.chunks[k]
-		for _, i := range ch.uniq {
-			set := ch.sets[i]
-			if _, dup := s.seen[set]; !dup {
-				s.seen[set] = struct{}{}
-				*found = append(*found, set)
-				c.passNew += ncols - int(ch.counts[i])
+	if s.word {
+		if s.localWords == nil {
+			s.localWords = make([]map[uint64]struct{}, s.pool.NumScratch())
+		}
+		s.pool.DoIndexed(numChunks, func(k, worker int) {
+			ch := &s.chunks[k]
+			m := ch.to - ch.from
+			if cap(ch.words) < m {
+				ch.words = make([]uint64, m)
+			}
+			ch.words = ch.words[:m]
+			s.enc.AgreeWindowWords(c.rows, c.window, ch.from, ch.to, ch.words)
+			local := s.localWords[worker]
+			if local == nil {
+				local = make(map[uint64]struct{}, m)
+				s.localWords[worker] = local
+			} else {
+				clear(local)
+			}
+			ch.uniq = ch.uniq[:0]
+			for i := 0; i < m; i++ {
+				w := ch.words[i]
+				// Window sweeps over low-cardinality data produce long runs
+				// of identical agree masks; a run is one map probe, not m.
+				if i > 0 && w == ch.words[i-1] {
+					continue
+				}
+				if _, dup := local[w]; !dup {
+					local[w] = struct{}{}
+					ch.uniq = append(ch.uniq, int32(i))
+				}
+			}
+		})
+		for k := 0; k < numChunks; k++ {
+			ch := &s.chunks[k]
+			for _, i := range ch.uniq {
+				w := ch.words[i]
+				if _, dup := s.seenW[w]; !dup {
+					s.seenW[w] = struct{}{}
+					*found = append(*found, fdset.FromWord(w))
+					c.passNew += ncols - bits.OnesCount64(w)
+				}
+			}
+		}
+	} else {
+		if s.localSets == nil {
+			s.localSets = make([]map[fdset.AttrSet]struct{}, s.pool.NumScratch())
+		}
+		s.pool.DoIndexed(numChunks, func(k, worker int) {
+			ch := &s.chunks[k]
+			m := ch.to - ch.from
+			if cap(ch.sets) < m {
+				ch.sets = make([]fdset.AttrSet, m)
+				ch.counts = make([]int32, m)
+			}
+			ch.sets, ch.counts = ch.sets[:m], ch.counts[:m]
+			s.enc.AgreeWindowInto(c.rows, c.window, ch.from, ch.to, ch.sets, ch.counts)
+			local := s.localSets[worker]
+			if local == nil {
+				local = make(map[fdset.AttrSet]struct{}, m)
+				s.localSets[worker] = local
+			} else {
+				clear(local)
+			}
+			ch.uniq = ch.uniq[:0]
+			for i := 0; i < m; i++ {
+				if i > 0 && ch.sets[i] == ch.sets[i-1] {
+					continue
+				}
+				if _, dup := local[ch.sets[i]]; !dup {
+					local[ch.sets[i]] = struct{}{}
+					ch.uniq = append(ch.uniq, int32(i))
+				}
+			}
+		})
+		for k := 0; k < numChunks; k++ {
+			ch := &s.chunks[k]
+			for _, i := range ch.uniq {
+				set := ch.sets[i]
+				if _, dup := s.seen[set]; !dup {
+					s.seen[set] = struct{}{}
+					*found = append(*found, set)
+					c.passNew += ncols - int(ch.counts[i])
+				}
 			}
 		}
 	}

@@ -1,0 +1,36 @@
+package fdset
+
+import (
+	"testing"
+
+	"eulerfd/internal/testutil"
+)
+
+// TestSingleWordOpsAllocFree pins the value-type contract of AttrSet:
+// the single-word constructors and the set algebra the sampling and
+// scoring hot paths lean on must never touch the heap. A regression here
+// (e.g. an op returning a pointer or boxing into an interface) would
+// silently put an allocation on every sampled pair.
+func TestSingleWordOpsAllocFree(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc assertions are meaningless under -race")
+	}
+	var sink AttrSet
+	var sinkInt int
+	var sinkBool bool
+	ops := map[string]func(){
+		"FromWord":   func() { sink = FromWord(0xdeadbeef) },
+		"Word0":      func() { sinkInt = int(sink.Word0()) },
+		"With":       func() { sink = sink.With(7) },
+		"Has":        func() { sinkBool = sink.Has(7) },
+		"Count":      func() { sinkInt = sink.Count() },
+		"Intersect":  func() { sink = sink.Intersect(FromWord(0xff)) },
+		"IsSubsetOf": func() { sinkBool = FromWord(1).IsSubsetOf(sink) },
+	}
+	for name, fn := range ops {
+		if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs per run, want 0", name, allocs)
+		}
+	}
+	_, _, _ = sink, sinkInt, sinkBool
+}

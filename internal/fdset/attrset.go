@@ -30,6 +30,22 @@ type AttrSet struct {
 // EmptySet returns the empty attribute set.
 func EmptySet() AttrSet { return AttrSet{} }
 
+// FromWord builds a set over attributes [0, 64) directly from a bitmask:
+// bit i set means attribute i is present. It is the single-word fast-path
+// constructor of the batched agree-set kernels (preprocess), which for
+// relations of ≤ 64 columns accumulate an agree set as one machine word
+// and materialize the AttrSet only when the word is retained. FromWord
+// performs no allocation and compiles to a handful of moves.
+func FromWord(w uint64) AttrSet {
+	var s AttrSet
+	s.w[0] = w
+	return s
+}
+
+// Word0 returns the first 64-bit word of the set: the whole set whenever
+// every attribute index is below 64 (the single-word fast path).
+func (s AttrSet) Word0() uint64 { return s.w[0] }
+
 // NewAttrSet builds a set from the given attribute indices.
 // It panics if an index is out of range, as that is a programming error.
 func NewAttrSet(attrs ...int) AttrSet {

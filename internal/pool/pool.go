@@ -41,7 +41,7 @@ func (e *PanicError) Unwrap() error {
 // time: Do must not be called from inside a task (tasks submitting tasks
 // can starve the pool).
 type Pool struct {
-	jobs    chan func()
+	jobs    chan func(worker int)
 	workers int
 	once    sync.Once
 }
@@ -53,16 +53,18 @@ func New(n int) *Pool {
 	if n <= 1 {
 		return nil
 	}
-	p := &Pool{jobs: make(chan func()), workers: n}
-	for i := 0; i < n; i++ {
-		go p.loop()
+	p := &Pool{jobs: make(chan func(worker int)), workers: n}
+	// Worker 0 is reserved for the coordinator (DoIndexed runs its first
+	// task inline), so the spawned goroutines identify as 1..n.
+	for i := 1; i <= n; i++ {
+		go p.loop(i)
 	}
 	return p
 }
 
-func (p *Pool) loop() {
+func (p *Pool) loop(worker int) {
 	for f := range p.jobs {
-		f()
+		f(worker)
 	}
 }
 
@@ -74,9 +76,19 @@ func (p *Pool) Workers() int {
 	return p.workers
 }
 
+// NumScratch returns how many scratch slots a DoIndexed caller must
+// allocate to cover every worker id it can observe: the spawned workers
+// plus the coordinator (worker 0). On the nil pool this is 1.
+func (p *Pool) NumScratch() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers + 1
+}
+
 // Do runs fn(0), fn(1), …, fn(n-1) and returns when all calls have
 // finished. On the nil pool the calls run inline in index order; otherwise
-// they run concurrently on the workers (the coordinator executes fn(0)
+// they run concurrently on the workers (the coordinator executes tasks
 // itself rather than sitting idle). fn must confine its writes to
 // per-index state — Do imposes no ordering between concurrent calls.
 //
@@ -86,9 +98,23 @@ func (p *Pool) Workers() int {
 // for the smallest panicking index. The sequential path recovers and
 // rethrows identically, so Workers=1 and Workers=N fail the same way.
 func (p *Pool) Do(n int, fn func(i int)) {
+	p.DoIndexed(n, func(i, _ int) { fn(i) })
+}
+
+// DoIndexed is Do for callbacks that keep per-worker scratch: fn receives
+// both the task index i and the identity of the worker executing it, a
+// stable integer in [0, Workers()] — NumScratch slots cover every id.
+// Worker 0 is always the coordinator goroutine (and the only worker on
+// the nil pool). Two calls with the same worker id never run
+// concurrently, so scratch buffers indexed by worker are data-race-free
+// without locking — but *which* tasks land on which worker is
+// scheduling-dependent, so worker-indexed state must never influence
+// results, only allocation reuse (invariant I3 extends: per-index state
+// carries results, per-worker state carries scratch).
+func (p *Pool) DoIndexed(n int, fn func(i, worker int)) {
 	if p == nil || n <= 1 {
 		for i := 0; i < n; i++ {
-			if pe := safeCall(i, fn); pe != nil {
+			if pe := safeCall(i, 0, fn); pe != nil {
 				panic(pe)
 			}
 		}
@@ -101,12 +127,12 @@ func (p *Pool) Do(n int, fn func(i int)) {
 	wg.Add(n - 1)
 	for i := 1; i < n; i++ {
 		i := i
-		p.jobs <- func() {
+		p.jobs <- func(worker int) {
 			defer wg.Done()
-			panics[i] = safeCall(i, fn)
+			panics[i] = safeCall(i, worker, fn)
 		}
 	}
-	panics[0] = safeCall(0, fn)
+	panics[0] = safeCall(0, 0, fn)
 	wg.Wait()
 	for _, pe := range panics {
 		if pe != nil {
@@ -115,10 +141,10 @@ func (p *Pool) Do(n int, fn func(i int)) {
 	}
 }
 
-// safeCall runs fn(i), converting a panic into a *PanicError. A callback
-// that deliberately panics with a *PanicError (rethrowing) is passed
-// through unwrapped.
-func safeCall(i int, fn func(i int)) (pe *PanicError) {
+// safeCall runs fn(i, worker), converting a panic into a *PanicError. A
+// callback that deliberately panics with a *PanicError (rethrowing) is
+// passed through unwrapped.
+func safeCall(i, worker int, fn func(i, worker int)) (pe *PanicError) {
 	defer func() {
 		if v := recover(); v != nil {
 			if wrapped, ok := v.(*PanicError); ok {
@@ -128,7 +154,7 @@ func safeCall(i int, fn func(i int)) (pe *PanicError) {
 			pe = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
 		}
 	}()
-	fn(i)
+	fn(i, worker)
 	return nil
 }
 

@@ -1,0 +1,139 @@
+package preprocess
+
+import (
+	"testing"
+
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/gen"
+	"eulerfd/internal/testutil"
+)
+
+// assertZeroAllocs gates the memory-discipline contract of the batched
+// kernels: their steady state must not allocate per call. Skipped under
+// -race because the detector instruments allocations.
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if testutil.RaceEnabled {
+		t.Skip("alloc assertions are meaningless under -race")
+	}
+	fn() // warm up: grow scratch to the high-water mark first
+	if allocs := testing.AllocsPerRun(10, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs per run, want 0", name, allocs)
+	}
+}
+
+// benchEncoding is a mid-size UCI-style relation: 2000 rows, 12 columns,
+// low cardinality so clusters are long and the window kernel sweeps real
+// runs of duplicate masks.
+func benchEncoding() *Encoded {
+	return Encode(gen.UCITable("bench", 2000, 12, true, 4, 17))
+}
+
+// largestCluster returns the biggest single-attribute cluster, the shape
+// the sampler's window sweeps spend their time on.
+func largestCluster(enc *Encoded) []int32 {
+	var best []int32
+	for _, c := range enc.AllClusters() {
+		if len(c.Rows) > len(best) {
+			best = c.Rows
+		}
+	}
+	return best
+}
+
+func TestAgreeWindowWordsMatchesAgreeSet(t *testing.T) {
+	enc := Encode(gen.UCITable("narrow", 300, 9, true, 4, 11))
+	for _, cl := range enc.AllClusters() {
+		for window := 2; window <= len(cl.Rows) && window <= 5; window++ {
+			n := len(cl.Rows) - window + 1
+			words := make([]uint64, n)
+			enc.AgreeWindowWords(cl.Rows, window, 0, n, words)
+			for p := 0; p < n; p++ {
+				want := enc.AgreeSet(int(cl.Rows[p]), int(cl.Rows[p+window-1]))
+				if got := fdset.FromWord(words[p]); got != want {
+					t.Fatalf("window %d pos %d = %v, want %v", window, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAgreeWindowWordsAllocFree(t *testing.T) {
+	enc := benchEncoding()
+	rows := largestCluster(enc)
+	words := make([]uint64, len(rows)-1)
+	assertZeroAllocs(t, "AgreeWindowWords", func() {
+		enc.AgreeWindowWords(rows, 2, 0, len(rows)-1, words)
+	})
+}
+
+func TestAgreeSetsIntoAllocFree(t *testing.T) {
+	enc := benchEncoding()
+	others := make([]int32, enc.NumRows)
+	for j := range others {
+		others[j] = int32(j)
+	}
+	out := make([]fdset.AttrSet, enc.NumRows)
+	assertZeroAllocs(t, "AgreeSetsInto", func() {
+		enc.AgreeSetsInto(0, others, out)
+	})
+}
+
+func TestCountViolationsWithAllocFree(t *testing.T) {
+	enc := benchEncoding()
+	sc := NewMeasureScratch()
+	assertZeroAllocs(t, "CountViolationsWith", func() {
+		enc.CountViolationsWith(enc.Partitions[1], 2, sc)
+	})
+}
+
+// TestProductWithAllocsOnlyOutput pins the join kernel's allocation
+// profile: everything transient lives in the scratch, so a steady-state
+// product performs exactly the two allocations of its retained output
+// (the flat row array and the cluster header slice).
+func TestProductWithAllocsOnlyOutput(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("alloc assertions are meaningless under -race")
+	}
+	enc := benchEncoding()
+	sc := NewJoinScratch()
+	p, q := enc.Partitions[1], enc.Partitions[2]
+	ProductWith(p, q, enc.NumRows, sc) // warm up the scratch
+	allocs := testing.AllocsPerRun(10, func() {
+		ProductWith(p, q, enc.NumRows, sc)
+	})
+	if allocs > 2 {
+		t.Errorf("ProductWith: %.1f allocs per run, want <= 2 (output only)", allocs)
+	}
+}
+
+func BenchmarkAgreeWindowWords(b *testing.B) {
+	enc := benchEncoding()
+	rows := largestCluster(enc)
+	n := len(rows) - 1
+	words := make([]uint64, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.AgreeWindowWords(rows, 2, 0, n, words)
+	}
+}
+
+func BenchmarkProductWith(b *testing.B) {
+	enc := benchEncoding()
+	sc := NewJoinScratch()
+	p, q := enc.Partitions[1], enc.Partitions[2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ProductWith(p, q, enc.NumRows, sc)
+	}
+}
+
+func BenchmarkCountViolationsWith(b *testing.B) {
+	enc := benchEncoding()
+	sc := NewMeasureScratch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc.CountViolationsWith(enc.Partitions[1], 2, sc)
+	}
+}

@@ -31,6 +31,11 @@ type PartitionCache struct {
 	mu      sync.Mutex
 	entries map[fdset.AttrSet]*list.Element
 	order   *list.List // front = most recent
+	// scratch is the join state every refinement under this cache
+	// reuses; it is guarded by mu like everything else the refinement
+	// work touches, so the probe table and group buffers are grown once
+	// per cache, not rebuilt per derivation.
+	scratch *JoinScratch
 
 	// Stats, guarded by mu; read them only after concurrent Gets settle.
 	Hits, Misses, Derived int
@@ -52,6 +57,7 @@ func NewPartitionCache(enc *Encoded, max int) *PartitionCache {
 		max:     max,
 		entries: make(map[fdset.AttrSet]*list.Element),
 		order:   list.New(),
+		scratch: NewJoinScratch(),
 	}
 }
 
@@ -76,7 +82,7 @@ func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
 	c.Misses++
 	part, ok := c.deriveFromNeighbor(x)
 	if !ok {
-		part = c.enc.PartitionOf(x)
+		part = c.enc.PartitionOfWith(x, c.scratch)
 	}
 	c.put(x, part)
 	return part
@@ -90,13 +96,13 @@ func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition,
 	x.ForEach(func(a int) bool {
 		sub := x.Without(a)
 		if sub.Count() == 1 {
-			derived = c.enc.Refine(c.enc.Partitions[sub.First()], a)
+			derived = c.enc.RefineWith(c.enc.Partitions[sub.First()], a, c.scratch)
 			found = true
 			return false
 		}
 		if el, ok := c.entries[sub]; ok {
 			c.order.MoveToFront(el)
-			derived = c.enc.Refine(el.Value.(*cacheEntry).part, a)
+			derived = c.enc.RefineWith(el.Value.(*cacheEntry).part, a, c.scratch)
 			found = true
 			return false
 		}

@@ -19,7 +19,10 @@ package preprocess
 //     (Sum()), needed to account for the dropped singletons.
 //
 // Rows in singleton X-clusters can never violate anything, which is why
-// stripped partitions lose no information for any of the measures.
+// stripped partitions lose no information for any of the measures. One
+// MeasureCounts carries the numerators of all four measures (g3/g1/pdep/
+// tau), so a scorer that wants several of them still pays one partition
+// walk (afd.Scorer.ScoreAll).
 type MeasureCounts struct {
 	ViolatingRows  int
 	ViolatingPairs int64
@@ -27,41 +30,86 @@ type MeasureCounts struct {
 	Covered        int
 }
 
-// CountViolations tallies MeasureCounts for the dependency X → a given
-// the stripped partition part = π_X. One scratch map serves every
-// cluster; per cluster the map only aggregates order-independent scalars
-// (max, sums), so map iteration order cannot reach the result. Within a
-// cluster the group squares are summed in integers before the single
-// float division, keeping GroupSqSum independent of summation order
-// (determinism invariant I1 extends to float low bits: AFD scores are
-// exact-match gated in the regression harness).
-func (e *Encoded) CountViolations(part StrippedPartition, a int) MeasureCounts {
+// MeasureScratch is the reusable state of the measure kernel. Labels of
+// the RHS attribute are dense in [0, NumLabels[a]), so per-cluster
+// grouping indexes a counter slice directly instead of hashing into a
+// map; touched entries are recorded and sparsely reset, keeping a
+// cluster's cost proportional to its size, not to the column
+// cardinality. Buffers grow to the relation's high-water mark once —
+// steady-state calls allocate nothing. A scratch must not be shared
+// between concurrent calls; afd.Scorer hands them out from a sync.Pool.
+//
+// Invariant between calls: cnt[l] == 0 for every label l.
+type MeasureScratch struct {
+	cnt     []int32 // per-label row count within the current cluster
+	touched []int32 // labels seen in the current cluster, first-occurrence order
+}
+
+// NewMeasureScratch returns an empty scratch; buffers grow on first use.
+func NewMeasureScratch() *MeasureScratch {
+	return &MeasureScratch{}
+}
+
+// ensure grows cnt to cover numLabels labels; the grown region is zero,
+// matching the between-calls invariant.
+func (sc *MeasureScratch) ensure(numLabels int) {
+	if len(sc.cnt) < numLabels {
+		grown := make([]int32, numLabels)
+		copy(grown, sc.cnt)
+		sc.cnt = grown
+	}
+}
+
+// CountViolationsWith tallies MeasureCounts for the dependency X → a
+// given the stripped partition part = π_X, reusing sc for all transient
+// state. Per cluster the label counters only aggregate order-independent
+// scalars (max, sums), and within a cluster the group squares are summed
+// in integers before the single float division, keeping GroupSqSum
+// independent of summation order (determinism invariant I1 extends to
+// float low bits: AFD scores are exact-match gated in the regression
+// harness).
+func (e *Encoded) CountViolationsWith(part StrippedPartition, a int, sc *MeasureScratch) MeasureCounts {
+	sc.ensure(e.NumLabels[a])
 	var mc MeasureCounts
-	counts := make(map[int32]int)
+	cnt := sc.cnt
+	touched := sc.touched[:0]
 	for _, cluster := range part.Clusters {
 		// The plurality count grows monotonically while counting, so it
-		// can be tracked here instead of in the map sweep below — which
+		// can be tracked here instead of in the reset sweep below — which
 		// then only accumulates commutative sums (invariant I1).
-		best := 0
+		best := int32(0)
+		touched = touched[:0]
 		for _, r := range cluster {
 			l := e.Labels[r][a]
-			counts[l]++
-			if counts[l] > best {
-				best = counts[l]
+			c := cnt[l] + 1
+			cnt[l] = c
+			if c == 1 {
+				touched = append(touched, l)
+			}
+			if c > best {
+				best = c
 			}
 		}
 		var sqSum int64
-		for l, c := range counts {
-			sqSum += int64(c) * int64(c)
-			delete(counts, l)
+		for _, l := range touched {
+			c := int64(cnt[l])
+			sqSum += c * c
+			cnt[l] = 0 // restore the between-calls invariant
 		}
 		size := int64(len(cluster))
-		mc.ViolatingRows += len(cluster) - best
+		mc.ViolatingRows += len(cluster) - int(best)
 		mc.ViolatingPairs += size*size - sqSum
 		mc.GroupSqSum += float64(sqSum) / float64(size)
 		mc.Covered += len(cluster)
 	}
+	sc.touched = touched[:0]
 	return mc
+}
+
+// CountViolations is CountViolationsWith with a transient scratch, for
+// one-off callers outside a scoring loop.
+func (e *Encoded) CountViolations(part StrippedPartition, a int) MeasureCounts {
+	return e.CountViolationsWith(part, a, NewMeasureScratch())
 }
 
 // PdepFrom assembles pdep(A|X) ∈ (0, 1] from the counts of π_X over a

@@ -5,6 +5,11 @@
 //
 // All discovery algorithms in this repository — EulerFD, AID-FD, TANE,
 // Fdep, HyFD — operate on the Encoded form, never on raw values.
+//
+// The batched kernels in this file (AgreeSetsInto, AgreeWindowWords,
+// ProductWith, RefineWith) are the hot paths of the whole system; see
+// DESIGN.md "Hot paths & memory discipline" for the scratch-buffer
+// ownership rules that keep their steady state allocation-free.
 package preprocess
 
 import (
@@ -34,15 +39,36 @@ type Encoded struct {
 
 // StrippedPartition is a partition with singleton equivalence classes
 // removed (Definition 7). Each cluster lists row indices sharing a value.
+// Partitions produced by this package carry their row total computed at
+// construction, so Sum and Error are O(1); a zero-value or literal
+// partition still answers correctly by walking its clusters once.
 type StrippedPartition struct {
 	Clusters [][]int32
+	sum      int // Σ|cluster|, cached at construction; 0 = not cached
+}
+
+// NewStrippedPartition wraps clusters in a partition with the row total
+// precomputed. All partitions built by this package go through it.
+func NewStrippedPartition(clusters [][]int32) StrippedPartition {
+	n := 0
+	for _, c := range clusters {
+		n += len(c)
+	}
+	return StrippedPartition{Clusters: clusters, sum: n}
 }
 
 // NumClusters returns the number of (non-singleton) clusters.
 func (p StrippedPartition) NumClusters() int { return len(p.Clusters) }
 
-// Sum returns the total number of rows covered by clusters.
+// Sum returns the total number of rows covered by clusters. For
+// partitions built by this package the total is cached at construction;
+// a partition assembled as a raw struct literal (tests) pays one walk
+// per call. Clusters are non-singleton, so a non-empty partition always
+// has a positive total and the zero sentinel is unambiguous.
 func (p StrippedPartition) Sum() int {
+	if p.sum > 0 || len(p.Clusters) == 0 {
+		return p.sum
+	}
 	n := 0
 	for _, c := range p.Clusters {
 		n += len(c)
@@ -105,20 +131,41 @@ func (e *Encoded) columnPartition(c int) StrippedPartition {
 	// Clone the retained slice header region to keep capacity tight.
 	out := make([][]int32, len(clusters))
 	copy(out, clusters)
-	return StrippedPartition{Clusters: out}
+	return NewStrippedPartition(out)
+}
+
+// eqMask01 returns 1 when two labels are equal and 0 otherwise, without a
+// branch: for x = a XOR b, x|(−x) has its sign bit set exactly when
+// x ≠ 0. Agree-set comparisons are data-dependent coin flips the branch
+// predictor cannot learn, so mask accumulation beats compare-and-branch
+// on every shape the sampling benchmark covers.
+func eqMask01(a, b int32) uint64 {
+	x := uint32(a ^ b)
+	return uint64((x|(-x))>>31) ^ 1
 }
 
 // AgreeSet returns the set of attributes on which rows i and j share values,
 // i.e. the LHS of every non-FD the pair witnesses (Section IV-C).
 func (e *Encoded) AgreeSet(i, j int) fdset.AttrSet {
-	var agree fdset.AttrSet
 	ri, rj := e.Labels[i], e.Labels[j]
-	for c := range ri {
-		if ri[c] == rj[c] {
-			agree.Add(c)
-		}
+	if len(ri) <= 64 {
+		return fdset.FromWord(agreeWord(ri, rj))
 	}
-	return agree
+	return agreeWide(ri, rj)
+}
+
+// agreeWord assembles the agree mask of two label rows of ≤ 64 columns:
+// bit c is set when the rows share column c's value.
+func agreeWord(ri, rj []int32) uint64 {
+	var w uint64
+	if len(ri) == 0 {
+		return 0
+	}
+	_ = rj[len(ri)-1] // bounds-check hint: len(rj) ≥ len(ri)
+	for c := 0; c < len(ri); c++ {
+		w |= eqMask01(ri[c], rj[c]) << uint(c)
+	}
+	return w
 }
 
 // AgreeSetsInto computes the agree set of (base, o) for every row o in
@@ -127,22 +174,13 @@ func (e *Encoded) AgreeSet(i, j int) fdset.AttrSet {
 // checks amortize over the batch, and agree sets are assembled one 64-bit
 // word at a time instead of one Add call per attribute, which keeps the
 // row-major Labels scan hot in cache. Used by full pairwise induction
-// (Fdep) and anywhere one row is compared against many.
+// (Fdep) and anywhere one row is compared against many. It performs no
+// allocation.
 func (e *Encoded) AgreeSetsInto(base int, others []int32, out []fdset.AttrSet) {
 	rb := e.Labels[base]
-	ncols := len(rb)
-	if ncols <= 64 {
+	if len(rb) <= 64 {
 		for k, o := range others {
-			ro := e.Labels[o]
-			var w uint64
-			for c := 0; c < ncols; c++ {
-				if rb[c] == ro[c] {
-					w |= 1 << uint(c)
-				}
-			}
-			var s fdset.AttrSet
-			s.SetWord(0, w)
-			out[k] = s
+			out[k] = fdset.FromWord(agreeWord(rb, e.Labels[o]))
 		}
 		return
 	}
@@ -151,26 +189,34 @@ func (e *Encoded) AgreeSetsInto(base int, others []int32, out []fdset.AttrSet) {
 	}
 }
 
-// AgreeWindowInto is the sliding-window batched kernel of the parallel
-// sampler: for every position p in [from, to) it computes the agree set of
-// the pair (rows[p], rows[p+window-1]) into out[p-from] and the agree-set
+// AgreeWindowWords is the single-word sliding-window kernel of the
+// sampler, usable whenever the relation has at most 64 columns: for every
+// position p in [from, to) it writes the agree mask of the pair
+// (rows[p], rows[p+window-1]) into words[p-from]. Emitting raw uint64
+// masks instead of AttrSets keeps the inner loop free of 48-byte stores
+// and lets the caller deduplicate on machine words; materialize retained
+// masks with fdset.FromWord. words must have length ≥ to−from. It
+// performs no allocation.
+func (e *Encoded) AgreeWindowWords(rows []int32, window, from, to int, words []uint64) {
+	for p := from; p < to; p++ {
+		words[p-from] = agreeWord(e.Labels[rows[p]], e.Labels[rows[p+window-1]])
+	}
+}
+
+// AgreeWindowInto is the wide-relation sliding-window kernel (> 64
+// columns; narrower relations should prefer AgreeWindowWords): for every
+// position p in [from, to) it computes the agree set of the pair
+// (rows[p], rows[p+window-1]) into out[p-from] and the agree-set
 // cardinality into counts[p-from]. The counts come for free from the same
 // scan and feed capa accounting (newNonFDs = ncols − |agree|) without a
-// separate popcount pass. out and counts must have length ≥ to−from.
+// separate popcount pass. out and counts must have length ≥ to−from. It
+// performs no allocation.
 func (e *Encoded) AgreeWindowInto(rows []int32, window, from, to int, out []fdset.AttrSet, counts []int32) {
 	ncols := len(e.Attrs)
 	if ncols <= 64 {
 		for p := from; p < to; p++ {
-			ri, rj := e.Labels[rows[p]], e.Labels[rows[p+window-1]]
-			var w uint64
-			for c := 0; c < ncols; c++ {
-				if ri[c] == rj[c] {
-					w |= 1 << uint(c)
-				}
-			}
-			var s fdset.AttrSet
-			s.SetWord(0, w)
-			out[p-from] = s
+			w := agreeWord(e.Labels[rows[p]], e.Labels[rows[p+window-1]])
+			out[p-from] = fdset.FromWord(w)
 			counts[p-from] = int32(bits.OnesCount64(w))
 		}
 		return
@@ -195,9 +241,7 @@ func agreeWide(ri, rj []int32) fdset.AttrSet {
 		var w uint64
 		lo := c
 		for ; c < end; c++ {
-			if ri[c] == rj[c] {
-				w |= 1 << uint(c-lo)
-			}
+			w |= eqMask01(ri[c], rj[c]) << uint(c-lo)
 		}
 		s.SetWord(lo>>6, w)
 	}
@@ -238,10 +282,217 @@ func (e *Encoded) AllClusters() []Cluster {
 	return out
 }
 
+// JoinScratch is the reusable state of the partition-join kernels
+// (ProductWith, RefineWith, PartitionOfWith). One scratch serves any
+// number of sequential joins over the same relation; buffers grow to the
+// high-water mark once and are then reused, so steady-state joins
+// allocate only their retained output. A scratch must not be shared
+// between concurrent joins — each caller owns one (PartitionCache guards
+// its scratch with the cache mutex; TANE's traversal owns one per run).
+//
+// Invariants between calls: probe[r] == -1 for every row r, and
+// slot[g] == -1 for every group g. Both are restored by sparse resets —
+// only the entries a join actually touched are cleared, which is what
+// makes the join O(||p|| + ||q||) instead of O(numRows).
+type JoinScratch struct {
+	probe []int32 // row → group id of the refining operand, -1 = singleton there
+	slot  []int32 // group id → index into order/cnt for the current parent cluster
+	order []int32 // group ids of the current parent cluster, first-occurrence order
+	cnt   []int32 // rows per group, parallel to order
+	off   []int32 // scatter cursor per group, parallel to order
+	flat  []int32 // row accumulation across the whole join
+	ends  []int32 // cluster end offsets into flat
+}
+
+// NewJoinScratch returns an empty scratch; buffers are grown on first
+// use.
+func NewJoinScratch() *JoinScratch {
+	return &JoinScratch{}
+}
+
+// ensureProbe grows probe to cover numRows rows, keeping the all--1
+// between-calls invariant for the new region.
+func (sc *JoinScratch) ensureProbe(numRows int) {
+	if len(sc.probe) >= numRows {
+		return
+	}
+	old := len(sc.probe)
+	grown := make([]int32, numRows)
+	copy(grown, sc.probe)
+	for i := old; i < numRows; i++ {
+		grown[i] = -1
+	}
+	sc.probe = grown
+}
+
+// ensureSlots grows slot to cover numGroups group ids, keeping the
+// all--1 between-calls invariant for the new region.
+func (sc *JoinScratch) ensureSlots(numGroups int) {
+	if len(sc.slot) >= numGroups {
+		return
+	}
+	old := len(sc.slot)
+	grown := make([]int32, numGroups)
+	copy(grown, sc.slot)
+	for i := old; i < numGroups; i++ {
+		grown[i] = -1
+	}
+	sc.slot = grown
+}
+
+// grouper maps a row id to the dense group id of the refining operand
+// (-1 drops the row). It is a type parameter of joinClusters rather than
+// a func value so the per-row lookup is a direct, inlinable call in each
+// instantiation — the join touches every row of p twice.
+type grouper interface {
+	group(r int32) int32
+}
+
+// labelGrouper groups rows by the labels of one attribute (RefineWith).
+type labelGrouper struct {
+	labels [][]int32
+	a      int
+}
+
+func (g labelGrouper) group(r int32) int32 { return g.labels[r][g.a] }
+
+// probeGrouper groups rows by a probe table (ProductWith).
+type probeGrouper struct {
+	probe []int32
+}
+
+func (g probeGrouper) group(r int32) int32 { return g.probe[r] }
+
+// joinClusters splits every cluster of p by gr.group(row), emitting
+// sub-clusters of size ≥ 2 in first-occurrence order of their group
+// within each parent cluster — never in hash order — so the output is a
+// pure function of the operands (determinism invariant I1). The returned
+// partition owns exactly-sized fresh storage; everything transient lives
+// in sc.
+func joinClusters[G grouper](sc *JoinScratch, p StrippedPartition, gr G) StrippedPartition {
+	if cap(sc.flat) < p.Sum() {
+		sc.flat = make([]int32, 0, p.Sum())
+	}
+	sc.flat = sc.flat[:0]
+	sc.ends = sc.ends[:0]
+	for _, cluster := range p.Clusters {
+		sc.order = sc.order[:0]
+		sc.cnt = sc.cnt[:0]
+		// Pass 1: group sizes in first-occurrence order.
+		for _, r := range cluster {
+			g := gr.group(r)
+			if g < 0 {
+				continue
+			}
+			s := sc.slot[g]
+			if s < 0 {
+				s = int32(len(sc.order))
+				sc.slot[g] = s
+				sc.order = append(sc.order, g)
+				sc.cnt = append(sc.cnt, 0)
+			}
+			sc.cnt[s]++
+		}
+		// Lay out the retained (size ≥ 2) groups contiguously in flat.
+		sc.off = sc.off[:0]
+		base := int32(len(sc.flat))
+		for s := range sc.order {
+			sc.off = append(sc.off, base)
+			if sc.cnt[s] > 1 {
+				base += sc.cnt[s]
+			}
+		}
+		sc.flat = sc.flat[:int(base)]
+		// Pass 2: scatter rows into their group's range, preserving row
+		// order within each sub-cluster.
+		for _, r := range cluster {
+			g := gr.group(r)
+			if g < 0 {
+				continue
+			}
+			s := sc.slot[g]
+			if sc.cnt[s] < 2 {
+				continue
+			}
+			sc.flat[sc.off[s]] = r
+			sc.off[s]++
+		}
+		for s, g := range sc.order {
+			sc.slot[g] = -1 // restore the between-calls invariant
+			if sc.cnt[s] > 1 {
+				sc.ends = append(sc.ends, sc.off[s])
+			}
+		}
+	}
+	// Materialize the exactly-sized result; sc.flat stays owned by the
+	// scratch for the next join.
+	rows := make([]int32, len(sc.flat))
+	copy(rows, sc.flat)
+	clusters := make([][]int32, len(sc.ends))
+	start := int32(0)
+	for i, end := range sc.ends {
+		clusters[i] = rows[start:end:end]
+		start = end
+	}
+	return StrippedPartition{Clusters: clusters, sum: len(rows)}
+}
+
+// RefineWith splits every cluster of p by the labels of attribute a,
+// dropping resulting singletons — the partition product π_p · π_a
+// specialised to a single-attribute refiner — reusing sc for all
+// transient state. Labels of a are dense in [0, NumLabels[a]), so the
+// join indexes them directly: no hashing, no per-cluster map.
+func (e *Encoded) RefineWith(p StrippedPartition, a int, sc *JoinScratch) StrippedPartition {
+	sc.ensureSlots(e.NumLabels[a])
+	return joinClusters(sc, p, labelGrouper{labels: e.Labels, a: a})
+}
+
+// Refine is RefineWith with a transient scratch, for callers outside a
+// join-heavy loop.
+func (e *Encoded) Refine(p StrippedPartition, a int) StrippedPartition {
+	return e.RefineWith(p, a, NewJoinScratch())
+}
+
+// ProductWith computes the stripped-partition product p · q — rows share
+// a product cluster iff they share a cluster in both operands — as a
+// hash join over cluster row ids: q's clusters are scattered into a
+// probe table once (O(||q||), not O(numRows)), p's clusters are joined
+// against it, and the probe entries are sparsely reset afterwards. All
+// transient state lives in sc and is grown once; steady-state products
+// allocate only their retained output.
+func ProductWith(p, q StrippedPartition, numRows int, sc *JoinScratch) StrippedPartition {
+	sc.ensureProbe(numRows)
+	sc.ensureSlots(len(q.Clusters))
+	probe := sc.probe
+	for id, cluster := range q.Clusters {
+		for _, r := range cluster {
+			probe[r] = int32(id)
+		}
+	}
+	out := joinClusters(sc, p, probeGrouper{probe: probe})
+	for _, cluster := range q.Clusters {
+		for _, r := range cluster {
+			probe[r] = -1
+		}
+	}
+	return out
+}
+
+// Product is ProductWith with a transient scratch, for callers outside a
+// join-heavy loop.
+func Product(p, q StrippedPartition, numRows int) StrippedPartition {
+	return ProductWith(p, q, numRows, NewJoinScratch())
+}
+
 // PartitionOf computes the stripped partition of an arbitrary attribute
 // set by iterated refinement, used by validators and the TANE baseline.
 // The empty set yields one cluster with all rows (or none if NumRows < 2).
 func (e *Encoded) PartitionOf(x fdset.AttrSet) StrippedPartition {
+	return e.PartitionOfWith(x, NewJoinScratch())
+}
+
+// PartitionOfWith is PartitionOf reusing a caller-owned join scratch.
+func (e *Encoded) PartitionOfWith(x fdset.AttrSet, sc *JoinScratch) StrippedPartition {
 	attrs := x.Attrs()
 	if len(attrs) == 0 {
 		if e.NumRows < 2 {
@@ -251,91 +502,16 @@ func (e *Encoded) PartitionOf(x fdset.AttrSet) StrippedPartition {
 		for i := range all {
 			all[i] = int32(i)
 		}
-		return StrippedPartition{Clusters: [][]int32{all}}
+		return NewStrippedPartition([][]int32{all})
 	}
 	p := e.Partitions[attrs[0]]
 	for _, a := range attrs[1:] {
-		p = e.Refine(p, a)
+		p = e.RefineWith(p, a, sc)
 		if len(p.Clusters) == 0 {
 			break
 		}
 	}
 	return p
-}
-
-// Refine splits every cluster of p by the labels of attribute a, dropping
-// resulting singletons. This is the partition product π_p · π_a specialised
-// to a single-attribute refiner.
-//
-// Sub-clusters are emitted in first-occurrence order of their label within
-// each parent cluster — never in map iteration order. Cluster order flows
-// into sampling order and into Violation witnesses, so it must be a pure
-// function of the input (determinism invariant I1, DESIGN.md).
-func (e *Encoded) Refine(p StrippedPartition, a int) StrippedPartition {
-	var out [][]int32
-	groups := make(map[int32][]int32)
-	var order []int32 // labels of this cluster in first-occurrence order
-	for _, cluster := range p.Clusters {
-		order = order[:0]
-		for _, r := range cluster {
-			l := e.Labels[r][a]
-			g, seen := groups[l]
-			if !seen {
-				order = append(order, l)
-			}
-			groups[l] = append(g, r)
-		}
-		for _, l := range order {
-			if g := groups[l]; len(g) > 1 {
-				out = append(out, g)
-			}
-			delete(groups, l)
-		}
-	}
-	return StrippedPartition{Clusters: out}
-}
-
-// Product computes the stripped-partition product p · q using the standard
-// TANE probe-table algorithm: rows belong to the same product cluster iff
-// they share a cluster in both p and q.
-func Product(p, q StrippedPartition, numRows int) StrippedPartition {
-	// probe[r] = cluster id of r in q, or -1 when r is a singleton there.
-	probe := make([]int32, numRows)
-	for i := range probe {
-		probe[i] = -1
-	}
-	for id, cluster := range q.Clusters {
-		for _, r := range cluster {
-			probe[r] = int32(id)
-		}
-	}
-	// As in Refine, product clusters are emitted in first-occurrence order
-	// of their q-cluster id within each p-cluster, keeping the output a
-	// pure function of the operands (determinism invariant I1).
-	var out [][]int32
-	groups := make(map[int32][]int32)
-	var order []int32
-	for _, cluster := range p.Clusters {
-		order = order[:0]
-		for _, r := range cluster {
-			id := probe[r]
-			if id < 0 {
-				continue
-			}
-			g, seen := groups[id]
-			if !seen {
-				order = append(order, id)
-			}
-			groups[id] = append(g, r)
-		}
-		for _, id := range order {
-			if g := groups[id]; len(g) > 1 {
-				out = append(out, g)
-			}
-			delete(groups, id)
-		}
-	}
-	return StrippedPartition{Clusters: out}
 }
 
 // Holds reports whether the FD x → a is valid on the encoded relation,

@@ -1,0 +1,53 @@
+// Package prof wraps runtime/pprof for the command-line tools: a
+// -cpuprofile flag starts one CPU profile for the life of the process,
+// and a -memprofile flag writes one heap snapshot at exit. Both produce
+// files `go tool pprof` reads directly.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile written to path and returns a stop
+// function that ends the profile and closes the file. An empty path is
+// a no-op: the returned stop function does nothing, so callers can
+// defer it unconditionally.
+func StartCPU(path string) (stop func() error, err error) {
+	if path == "" {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeap writes a heap profile to path, forcing a GC first so the
+// snapshot reflects live memory rather than garbage awaiting
+// collection. An empty path is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return fmt.Errorf("write heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,6 +54,11 @@ type Config struct {
 	CycleDelay time.Duration
 	// MaxBodyBytes caps request bodies. Default 64 MiB.
 	MaxBodyBytes int64
+	// Pprof mounts the net/http/pprof handlers under /debug/pprof/.
+	// Off by default: the profiling endpoints expose goroutine dumps and
+	// CPU profiles of the whole process, so hosts opt in explicitly
+	// (fdserve -pprof).
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +113,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/closure", s.handleClosure)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/keys", s.handleKeys)
+	if cfg.Pprof {
+		// Explicit registrations on the server's own mux; the package-level
+		// side registrations on http.DefaultServeMux are never served.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 

@@ -570,3 +570,22 @@ func TestResolveAttrs(t *testing.T) {
 		t.Error("empty list should fail")
 	}
 }
+
+func TestPprofMountIsOptIn(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	if code, _ := doReq(t, "GET", off.URL+"/debug/pprof/", ""); code != http.StatusNotFound {
+		t.Fatalf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+
+	_, on := newTestServer(t, Config{Pprof: true})
+	code, body := doReq(t, "GET", on.URL+"/debug/pprof/", "")
+	if code != http.StatusOK {
+		t.Fatalf("pprof enabled: GET /debug/pprof/ = %d, want 200", code)
+	}
+	if !bytes.Contains(body, []byte("heap")) {
+		t.Fatalf("pprof index missing profile listing: %q", body)
+	}
+	if code, _ := doReq(t, "GET", on.URL+"/debug/pprof/heap?debug=1", ""); code != http.StatusOK {
+		t.Fatalf("pprof enabled: GET /debug/pprof/heap = %d, want 200", code)
+	}
+}

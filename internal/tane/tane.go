@@ -71,6 +71,11 @@ func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdse
 		return nil, stats, err
 	}
 	full := fdset.FullSet(m)
+	// One join scratch serves every partition product of the traversal;
+	// its probe table and group buffers are grown once (invariant: a
+	// scratch is owned by one sequential caller, DESIGN.md "Hot paths &
+	// memory discipline").
+	scratch := preprocess.NewJoinScratch()
 
 	// Level 0: the empty set, C⁺(∅) = R.
 	emptyPart := enc.PartitionOf(fdset.EmptySet())
@@ -189,7 +194,7 @@ func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded) (*fdse
 							continue
 						}
 						base := level[z.Without(lasts[j])]
-						p := preprocess.Product(base.part, enc.Partitions[lasts[j]], enc.NumRows)
+						p := preprocess.ProductWith(base.part, enc.Partitions[lasts[j]], enc.NumRows, scratch)
 						next[z] = &node{part: p, errVal: p.Error()}
 					}
 				}

@@ -1,0 +1,11 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by test files, such as
+// build-mode detection for assertions that only hold without
+// instrumentation.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. The race
+// detector instruments every allocation, so zero-allocation assertions
+// (testing.AllocsPerRun) are skipped when it is on.
+const RaceEnabled = false
