@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint test race bench-smoke bench-sampling bench-afd bench-kernels regress regress-record serve-smoke
+.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -15,10 +15,17 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (determinism, AttrSet aliasing, pool-callback
-# confinement) enforced by the analyzers in internal/analysis. Also
+# confinement, context flow, hot-path allocation, lock discipline, float
+# determinism) enforced by the analyzers in internal/analysis. Strict
+# ignores keep the //fdlint:ignore inventory honest: a suppression that
+# no longer matches a finding fails the build instead of rotting. Also
 # runnable through the vet driver: go vet -vettool=$$(which fdlint) ./...
 lint:
-	$(GO) run ./cmd/fdlint ./...
+	$(GO) run ./cmd/fdlint -strict-ignores ./...
+
+# Machine-readable lint report for code scanning (CI uploads this).
+lint-sarif:
+	$(GO) run ./cmd/fdlint -strict-ignores -sarif fdlint.sarif ./...
 
 test:
 	$(GO) test ./...

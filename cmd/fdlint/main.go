@@ -14,7 +14,16 @@
 //
 //	//fdlint:ignore maporder <reason>
 //
-// Exit status is 1 when any finding is reported, 0 otherwise.
+// Standalone runs audit those comments: a suppression whose analyzers no
+// longer report anything on that line is printed as a stale-suppression
+// warning, and -strict-ignores turns the warnings into failures so CI
+// keeps the ignore inventory honest. Machine-readable output is
+// available with -json (schema-versioned findings report) and -sarif
+// (SARIF 2.1.0, the shape GitHub code scanning ingests); "-" selects
+// stdout and suppresses the plain listing.
+//
+// Exit status is 1 when any finding is reported (or, under
+// -strict-ignores, any stale suppression survives), 0 otherwise.
 package main
 
 import (
@@ -27,6 +36,11 @@ import (
 
 	"eulerfd/internal/analysis"
 	"eulerfd/internal/analysis/attrsetalias"
+	"eulerfd/internal/analysis/ctxflow"
+	"eulerfd/internal/analysis/facts"
+	"eulerfd/internal/analysis/floatdet"
+	"eulerfd/internal/analysis/hotalloc"
+	"eulerfd/internal/analysis/lockguard"
 	"eulerfd/internal/analysis/maporder"
 	"eulerfd/internal/analysis/nondeterm"
 	"eulerfd/internal/analysis/poolrace"
@@ -34,6 +48,10 @@ import (
 
 var analyzers = []*analysis.Analyzer{
 	attrsetalias.Analyzer,
+	ctxflow.Analyzer,
+	floatdet.Analyzer,
+	hotalloc.Analyzer,
+	lockguard.Analyzer,
 	maporder.Analyzer,
 	nondeterm.Analyzer,
 	poolrace.Analyzer,
@@ -62,8 +80,11 @@ func run(args []string) int {
 
 	fs := flag.NewFlagSet("fdlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
+	jsonOut := fs.String("json", "", "write findings as schema-versioned JSON to this file (- for stdout)")
+	sarifOut := fs.String("sarif", "", "write findings as SARIF 2.1.0 to this file (- for stdout)")
+	strictIgnores := fs.Bool("strict-ignores", false, "treat stale //fdlint:ignore comments as findings (exit 1)")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: fdlint [packages]\n       go vet -vettool=$(which fdlint) [packages]\n\nAnalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: fdlint [flags] [packages]\n       go vet -vettool=$(which fdlint) [packages]\n\nAnalyzers:\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -88,14 +109,57 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "fdlint:", err)
 		return 2
 	}
-	diags, err := analysis.RunAnalyzers(analyzers, pkgs)
+	res, err := analysis.Run(analyzers, pkgs, analysis.Options{AuditIgnores: true})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fdlint:", err)
 		return 2
 	}
-	analysis.PrintPlain(os.Stdout, diags)
-	if len(diags) > 0 {
+	dir, _ := os.Getwd()
+	if *jsonOut != "" {
+		if code := writeReport(*jsonOut, func(w io.Writer) error {
+			return analysis.WriteJSON(w, res, dir)
+		}); code != 0 {
+			return code
+		}
+	}
+	if *sarifOut != "" {
+		if code := writeReport(*sarifOut, func(w io.Writer) error {
+			return analysis.WriteSARIF(w, analyzers, res, dir)
+		}); code != 0 {
+			return code
+		}
+	}
+	if *jsonOut != "-" && *sarifOut != "-" {
+		analysis.PrintPlain(os.Stdout, res.Diags)
+		for _, d := range res.StaleIgnores {
+			verdict := "warning"
+			if *strictIgnores {
+				verdict = "error"
+			}
+			fmt.Printf("%s: [%s] %s: %s\n", d.Posn, d.Analyzer, verdict, d.Message)
+		}
+	}
+	if len(res.Diags) > 0 || (*strictIgnores && len(res.StaleIgnores) > 0) {
 		return 1
+	}
+	return 0
+}
+
+// writeReport writes one machine-readable report to path ("-" = stdout).
+func writeReport(path string, write func(io.Writer) error) int {
+	var w io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fdlint:", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := write(w); err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
 	}
 	return 0
 }
@@ -125,29 +189,61 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "fdlint:", err)
 		return 2
 	}
-	if err := cfg.WriteVetx(); err != nil {
+	// Foreign packages (the standard library, vendored deps) carry no
+	// fdlint facts and are never diagnosed; satisfy the protocol with an
+	// empty facts file without type-checking them.
+	if cfg.VetxOnly && !inModule(cfg.ImportPath) {
+		if err := cfg.WriteVetx(nil); err != nil {
+			fmt.Fprintln(os.Stderr, "fdlint:", err)
+			return 2
+		}
+		return 0
+	}
+	store := facts.NewStore()
+	if err := cfg.ImportFacts(store); err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	pkg, err := analysis.LoadVetPackage(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return exitIf(cfg.WriteVetx(nil))
+		}
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	// Facts are computed by the same analyzer runs that diagnose, so
+	// VetxOnly invocations (dependency packages) run the suite too and
+	// simply discard the diagnostics.
+	res, err := analysis.Run(analyzers, []*analysis.Package{pkg}, analysis.Options{Facts: store})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
+	}
+	if err := cfg.WriteVetx(store); err != nil {
 		fmt.Fprintln(os.Stderr, "fdlint:", err)
 		return 2
 	}
 	if cfg.VetxOnly {
 		return 0
 	}
-	pkg, err := analysis.LoadVetPackage(cfg)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, "fdlint:", err)
-		return 2
-	}
-	diags, err := analysis.RunAnalyzers(analyzers, []*analysis.Package{pkg})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fdlint:", err)
-		return 2
-	}
-	analysis.PrintPlain(os.Stderr, diags)
-	if len(diags) > 0 {
+	analysis.PrintPlain(os.Stderr, res.Diags)
+	if len(res.Diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// inModule reports whether importPath belongs to this module (the only
+// packages fdlint's analyzers produce facts for or diagnose).
+func inModule(importPath string) bool {
+	return importPath == "eulerfd" || strings.HasPrefix(importPath, "eulerfd/")
+}
+
+func exitIf(err error) int {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fdlint:", err)
+		return 2
 	}
 	return 0
 }

@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/analysis"
+)
+
+// buildTool compiles fdlint once per test binary into a temp dir and
+// returns its path plus the module root (the directory runs execute in).
+func buildTool(t *testing.T) (tool, root string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(t.TempDir(), "fdlint")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/fdlint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building fdlint: %v\n%s", err, out)
+	}
+	return tool, root
+}
+
+// TestVetToolEndToEnd drives the unitchecker protocol the way CI does:
+// go vet -vettool over a real module package. The run must succeed with
+// no findings — dependency packages get VetxOnly invocations, facts
+// files are produced for them, and the hotpath/ctx/lock invariants hold
+// on the shipped code.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the module under go vet")
+	}
+	tool, root := buildTool(t)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./internal/preprocess", "./internal/afd")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go vet -vettool=fdlint: %v\n%s", err, out)
+	}
+	if len(strings.TrimSpace(string(out))) != 0 {
+		t.Fatalf("expected clean vet run, got output:\n%s", out)
+	}
+}
+
+// TestJSONReportRoundTrip lints a corpus package that must produce
+// findings and decodes the -json report back through the exported
+// schema types.
+func TestJSONReportRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary")
+	}
+	tool, root := buildTool(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	cmd := exec.Command(tool, "-json", reportPath, "./internal/analysis/floatdet/testdata/src/a")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("corpus lint should exit non-zero; output:\n%s", out)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep analysis.JSONReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding -json report: %v", err)
+	}
+	if rep.Schema != analysis.ReportSchemaVersion {
+		t.Errorf("report schema = %d, want %d", rep.Schema, analysis.ReportSchemaVersion)
+	}
+	if rep.Tool != "fdlint" {
+		t.Errorf("report tool = %q, want fdlint", rep.Tool)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("corpus report has no findings")
+	}
+	for _, f := range rep.Findings {
+		if f.Analyzer != "floatdet" {
+			t.Errorf("unexpected analyzer %q in floatdet corpus report", f.Analyzer)
+		}
+		if f.File == "" || f.Line == 0 || f.Message == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding file %q should be relative to the lint directory", f.File)
+		}
+	}
+}
+
+// sarifShape mirrors the minimal subset GitHub code scanning requires.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			Level     string `json:"level"`
+			Message   struct{ Text string }
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestSARIFMinimalSubset validates the -sarif document against the
+// fields GitHub code scanning ingests.
+func TestSARIFMinimalSubset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary")
+	}
+	tool, root := buildTool(t)
+	reportPath := filepath.Join(t.TempDir(), "report.sarif")
+	cmd := exec.Command(tool, "-sarif", reportPath, "./internal/analysis/floatdet/testdata/src/a")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("corpus lint should exit non-zero; output:\n%s", out)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log sarifShape
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("decoding SARIF: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("sarif version = %q, want 2.1.0", log.Version)
+	}
+	if !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("sarif $schema = %q, want the 2.1.0 schema URL", log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("sarif has %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "fdlint" {
+		t.Errorf("driver name = %q, want fdlint", run.Tool.Driver.Name)
+	}
+	rules := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		rules[r.ID] = true
+	}
+	for _, want := range []string{"floatdet", "hotalloc", "lockguard", "ctxflow", "ignores"} {
+		if !rules[want] {
+			t.Errorf("driver rules missing %q", want)
+		}
+	}
+	if len(run.Results) == 0 {
+		t.Fatal("sarif run has no results")
+	}
+	for _, r := range run.Results {
+		if !rules[r.RuleID] {
+			t.Errorf("result references undeclared rule %q", r.RuleID)
+		}
+		if r.Level != "error" && r.Level != "warning" {
+			t.Errorf("result level = %q, want error or warning", r.Level)
+		}
+		if len(r.Locations) != 1 {
+			t.Fatalf("result has %d locations, want 1", len(r.Locations))
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if uri := loc.ArtifactLocation.URI; strings.Contains(uri, "\\") || strings.HasPrefix(uri, "/") {
+			t.Errorf("artifact uri %q must be relative with forward slashes", uri)
+		}
+		if loc.Region.StartLine <= 0 {
+			t.Errorf("result missing startLine")
+		}
+	}
+}
+
+// TestStaleIgnoreAudit exercises the suppression audit end to end in a
+// scratch module: a comment that suppresses nothing warns by default
+// and fails under -strict-ignores.
+func TestStaleIgnoreAudit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the lint binary")
+	}
+	tool, _ := buildTool(t)
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(dir, "x.go"), `package scratch
+
+func Clean() int {
+	return 1 + 1 //fdlint:ignore maporder nothing here needs suppressing
+}
+`)
+
+	run := func(args ...string) (string, int) {
+		cmd := exec.Command(tool, args...)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		code := 0
+		if exit, ok := err.(*exec.ExitError); ok {
+			code = exit.ExitCode()
+		} else if err != nil {
+			t.Fatalf("running fdlint: %v\n%s", err, out)
+		}
+		return string(out), code
+	}
+
+	out, code := run("./...")
+	if code != 0 {
+		t.Fatalf("default run should warn but pass, got exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "stale suppression") {
+		t.Fatalf("default run should print the stale-suppression warning, got:\n%s", out)
+	}
+
+	out, code = run("-strict-ignores", "./...")
+	if code != 1 {
+		t.Fatalf("-strict-ignores should fail on a stale suppression, got exit %d:\n%s", code, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -67,9 +67,10 @@ func NewScorer(enc *preprocess.Encoded, cacheSize int) *Scorer {
 }
 
 // CacheStats reports the partition cache counters (hits, misses,
-// neighbor derivations). Read it only after concurrent scoring settles.
+// neighbor derivations) as a consistent snapshot taken under the cache
+// lock.
 func (s *Scorer) CacheStats() (hits, misses, derived int) {
-	return s.cache.Hits, s.cache.Misses, s.cache.Derived
+	return s.cache.Stats()
 }
 
 // Scored returns how many dependencies this scorer has evaluated.
@@ -81,6 +82,8 @@ func (s *Scorer) Scored() int { return int(s.scored.Load()) }
 // on an unknown one (callers validate at the API boundary). Steady-state
 // Score calls allocate nothing: the partition comes from the shared
 // cache and the measure kernel runs on pooled scratch.
+//
+//fdlint:hotpath
 func (s *Scorer) Score(m Measure, lhs fdset.AttrSet, rhs int) float64 {
 	if !m.Valid() {
 		panic(fmt.Sprintf("afd: Score called with invalid measure %q", string(m)))
@@ -105,6 +108,8 @@ type Scores struct {
 // tallies of every measure fall out of the same stripped-partition pass
 // (preprocess.MeasureCounts), so ScoreAll costs one walk where four
 // Score calls would cost four.
+//
+//fdlint:hotpath
 func (s *Scorer) ScoreAll(lhs fdset.AttrSet, rhs int) Scores {
 	mc, n, trivial := s.counts(lhs, rhs)
 	if trivial {

@@ -18,6 +18,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+
+	"eulerfd/internal/analysis/facts"
 )
 
 // Analyzer describes one static check: a name used in diagnostics and
@@ -39,13 +41,18 @@ type Diagnostic struct {
 }
 
 // Pass carries one package through one analyzer, x/tools style: parsed
-// files, the type-checked package, and full type information.
+// files, the type-checked package, full type information, and the
+// cross-package facts store. Facts an analyzer Sets while checking a
+// package are visible to the same analyzer's passes over dependent
+// packages — the driver runs packages in dependency order (standalone)
+// or threads facts through vetx files (`go vet`).
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	Facts     *facts.Store
 
 	diags *[]Diagnostic
 }
@@ -59,11 +66,47 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// RunAnalyzers applies every analyzer to every package, filters findings
+// Options configures one Run.
+type Options struct {
+	// Facts is the cross-package store shared by every pass; nil means a
+	// fresh store private to this call (fine for single-package runs and
+	// analyzers without cross-package state).
+	Facts *facts.Store
+	// AuditIgnores reports `//fdlint:ignore` comments that suppressed no
+	// finding of any analyzer in this run. Only meaningful when the full
+	// analyzer suite runs over full packages — a partial run would
+	// misread live suppressions as stale.
+	AuditIgnores bool
+}
+
+// Result is the outcome of one Run: real findings, plus (when audited)
+// the suppression comments that no longer suppress anything.
+type Result struct {
+	Diags        []Diagnostic
+	StaleIgnores []Diagnostic // Analyzer == "ignores"
+}
+
+// RunAnalyzers applies every analyzer to every package with default
+// options and returns the surviving diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	res, err := Run(analyzers, pkgs, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Diags, nil
+}
+
+// Run applies every analyzer to every package, filters findings
 // suppressed by `//fdlint:ignore` comments, and returns the remaining
 // diagnostics sorted by file position. Analyzer errors abort the run.
-func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
-	var all []Diagnostic
+// pkgs must be in dependency order (dependencies before dependents) for
+// cross-package facts to resolve — the order Load already produces.
+func Run(analyzers []*Analyzer, pkgs []*Package, opts Options) (*Result, error) {
+	store := opts.Facts
+	if store == nil {
+		store = facts.NewStore()
+	}
+	res := &Result{}
 	for _, pkg := range pkgs {
 		var diags []Diagnostic
 		for _, a := range analyzers {
@@ -73,13 +116,17 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 				Files:     pkg.Files,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.Info,
+				Facts:     store,
 				diags:     &diags,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = filterIgnored(pkg, diags)
+		diags, stale := filterIgnored(pkg, analyzers, diags)
+		if opts.AuditIgnores {
+			res.StaleIgnores = append(res.StaleIgnores, stale...)
+		}
 		for i := range diags {
 			diags[i].Posn = pkg.Fset.Position(diags[i].Pos)
 			diags[i].PkgPath = pkg.Path
@@ -92,11 +139,17 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 			if strings.HasSuffix(d.Posn.Filename, "_test.go") {
 				continue
 			}
-			all = append(all, d)
+			res.Diags = append(res.Diags, d)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i].Posn, all[j].Posn
+	sortDiags(res.Diags)
+	sortDiags(res.StaleIgnores)
+	return res, nil
+}
+
+func sortDiags(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Posn, diags[j].Posn
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -106,9 +159,8 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return all, nil
 }
 
 // filterIgnored drops diagnostics suppressed by ignore comments. A
@@ -118,13 +170,29 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) 
 //
 // suppresses findings of the named analyzers on its own line and on the
 // immediately following line (so it can sit above the flagged statement).
-func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+// The second result lists comments that suppressed nothing — candidates
+// for deletion — restricted to comments whose named analyzers all ran
+// (a comment for an analyzer outside this run can't be judged) and that
+// don't sit in test files.
+func filterIgnored(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) (kept, stale []Diagnostic) {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	type key struct {
 		file string
 		line int
 		name string
 	}
-	ignored := make(map[key]bool)
+	type comment struct {
+		pos      token.Position
+		astPos   token.Pos
+		names    []string
+		judgable bool
+		used     bool
+	}
+	var comments []*comment
+	ignored := make(map[key]*comment)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -134,28 +202,49 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 				}
 				names, _, _ := strings.Cut(strings.TrimSpace(text), " ")
 				pos := pkg.Fset.Position(c.Pos())
+				cm := &comment{pos: pos, astPos: c.Pos(), judgable: true}
 				for _, name := range strings.Split(names, ",") {
 					name = strings.TrimSpace(name)
 					if name == "" {
 						continue
 					}
-					ignored[key{pos.Filename, pos.Line, name}] = true
-					ignored[key{pos.Filename, pos.Line + 1, name}] = true
+					cm.names = append(cm.names, name)
+					if !ran[name] {
+						cm.judgable = false
+					}
+					ignored[key{pos.Filename, pos.Line, name}] = cm
+					ignored[key{pos.Filename, pos.Line + 1, name}] = cm
 				}
+				comments = append(comments, cm)
 			}
 		}
 	}
-	if len(ignored) == 0 {
-		return diags
+	if len(comments) == 0 {
+		return diags, nil
 	}
-	kept := diags[:0]
+	kept = diags[:0]
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
-		if !ignored[key{pos.Filename, pos.Line, d.Analyzer}] {
-			kept = append(kept, d)
+		if cm := ignored[key{pos.Filename, pos.Line, d.Analyzer}]; cm != nil {
+			cm.used = true
+			continue
 		}
+		kept = append(kept, d)
 	}
-	return kept
+	for _, cm := range comments {
+		if cm.used || !cm.judgable || strings.HasSuffix(cm.pos.Filename, "_test.go") {
+			continue
+		}
+		stale = append(stale, Diagnostic{
+			Pos:      cm.astPos,
+			Posn:     cm.pos,
+			PkgPath:  pkg.Path,
+			Analyzer: "ignores",
+			Message: fmt.Sprintf("stale suppression: //fdlint:ignore %s no longer matches any finding",
+				strings.Join(cm.names, ",")),
+		})
+	}
+	return kept, stale
 }
 
 // GatedPackage reports whether pkgPath is one of the determinism-gated
@@ -179,6 +268,53 @@ func GatedPackage(pkgPath string) bool {
 		"eulerfd/internal/fdset",
 		"eulerfd/internal/pool",
 		"eulerfd/internal/serve":
+		return true
+	}
+	return false
+}
+
+// CtxGatedPackage reports whether pkgPath carries the cooperative-
+// cancellation contract ctxflow (I5) enforces: the engine entry points,
+// the HTTP service, the algorithm registry, and the nine baseline
+// algorithms that were threaded with context in the fdserve PR. A
+// context parameter reaching any of these must flow to every
+// ctx-accepting callee; fresh Background()/TODO() contexts are confined
+// to the documented delegation wrappers.
+func CtxGatedPackage(pkgPath string) bool {
+	if strings.Contains(pkgPath, "testdata") {
+		return true
+	}
+	switch pkgPath {
+	case "eulerfd",
+		"eulerfd/internal/core",
+		"eulerfd/internal/serve",
+		"eulerfd/internal/algo",
+		"eulerfd/internal/tane",
+		"eulerfd/internal/fastfds",
+		"eulerfd/internal/fun",
+		"eulerfd/internal/depminer",
+		"eulerfd/internal/hyfd",
+		"eulerfd/internal/kivinen",
+		"eulerfd/internal/aidfd",
+		"eulerfd/internal/dfd",
+		"eulerfd/internal/fdep":
+		return true
+	}
+	return false
+}
+
+// FloatGatedPackage reports whether pkgPath carries the float-
+// determinism contract floatdet (I8) enforces: the AFD error measures
+// and the evaluation metrics, whose scores must come out bit-identical
+// regardless of iteration order — integer accumulation with one final
+// divide, never running float sums or float-driven control flow.
+func FloatGatedPackage(pkgPath string) bool {
+	if strings.Contains(pkgPath, "testdata") {
+		return true
+	}
+	switch pkgPath {
+	case "eulerfd/internal/afd",
+		"eulerfd/internal/metrics":
 		return true
 	}
 	return false

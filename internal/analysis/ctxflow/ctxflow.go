@@ -1,0 +1,206 @@
+// Package ctxflow enforces the cooperative-cancellation contract of the
+// context-gated packages (see analysis.CtxGatedPackage): a function that
+// receives a context.Context must forward it — every context.Context
+// argument it passes must derive from the parameter, never from a fresh
+// context.Background()/context.TODO(), which would silently make the
+// callee uncancellable. Fresh contexts are banned outright in gated
+// packages with one sanctioned shape: a delegation wrapper with no ctx
+// parameter of its own (Discover → DiscoverContext) may pass Background
+// directly as an argument to the ctx-accepting call it wraps. Explicit
+// detachment from a request's lifetime uses context.WithoutCancel, which
+// keeps values and stays visibly tied to the parent. This is
+// cancellation invariant I5 in DESIGN.md.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"eulerfd/internal/analysis"
+	"eulerfd/internal/analysis/dataflow"
+)
+
+// Analyzer is the ctxflow check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "require ctx forwarding and forbid fresh Background/TODO contexts in cancellation-gated packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.CtxGatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WalkStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if name, ok := freshContextCall(pass.TypesInfo, call); ok {
+				checkFresh(pass, call, name, stack)
+			}
+		})
+		checkTaintedForwards(pass, f)
+	}
+	return nil
+}
+
+// freshContextCall matches context.Background() and context.TODO().
+func freshContextCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	pkg, name, ok := analysis.PkgFuncCall(info, call)
+	if !ok || pkg != "context" {
+		return "", false
+	}
+	return name, name == "Background" || name == "TODO"
+}
+
+// checkFresh flags one Background/TODO call unless it sits in the
+// sanctioned delegation-wrapper position.
+func checkFresh(pass *analysis.Pass, call *ast.CallExpr, name string, stack []ast.Node) {
+	// A ctx parameter anywhere up the enclosing-function chain (closures
+	// capture it) makes a fresh context an outright drop.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			if hasCtxParam(pass.TypesInfo, fn) {
+				pass.Reportf(call.Pos(), "context.%s in a function that already receives a ctx parameter; forward the parameter (or context.WithoutCancel(ctx) to detach explicitly) — a fresh context drops cancellation (invariant I5)", name)
+				return
+			}
+		}
+	}
+	if delegationArg(pass.TypesInfo, call, stack) {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s in a cancellation-gated package; accept a ctx parameter and forward it, or pass the fresh context directly to the context-accepting call being wrapped (invariant I5)", name)
+}
+
+// hasCtxParam reports whether fn declares a context.Context parameter.
+func hasCtxParam(info *types.Info, fn ast.Node) bool {
+	var ft *ast.FuncType
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	default:
+		return false
+	}
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	return analysis.IsNamed(t, "context", "Context")
+}
+
+// delegationArg reports whether call (a Background/TODO call) is
+// directly an argument of a call to a ctx-accepting function — the
+// Discover → DiscoverContext wrapper shape.
+func delegationArg(info *types.Info, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	parent, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range parent.Args {
+		if analysis.Unparen(arg) == call {
+			return acceptsContext(info, parent)
+		}
+	}
+	return false
+}
+
+// acceptsContext reports whether the called function's signature takes a
+// context.Context parameter.
+func acceptsContext(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkTaintedForwards tracks context values through local variables
+// (the dataflow layer's definition walker) and flags ctx-accepting calls
+// whose context argument originates from a fresh Background/TODO stored
+// in a local — the indirect form of the drop checkFresh catches at the
+// creation site.
+func checkTaintedForwards(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		// Tainted = context-typed locals whose value chains back to a
+		// fresh Background/TODO. Iterate the definition walk to fixpoint
+		// so copies of copies stay tainted.
+		tainted := make(map[types.Object]bool)
+		for {
+			changed := false
+			dataflow.VisitAssignments(pass.TypesInfo, fd, func(obj types.Object, rhs ast.Expr) {
+				if rhs == nil || tainted[obj] || !isContextType(obj.Type()) {
+					return
+				}
+				if freshOrTainted(pass.TypesInfo, rhs, tainted) {
+					tainted[obj] = true
+					changed = true
+				}
+			})
+			if !changed {
+				break
+			}
+		}
+		if len(tainted) == 0 {
+			continue
+		}
+		ast.Inspect(fd, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				id, ok := analysis.Unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil && tainted[obj] {
+					pass.Reportf(arg.Pos(), "%s carries a fresh Background/TODO context, not the caller's; the callee becomes uncancellable (invariant I5)", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// freshOrTainted reports whether rhs is a Background/TODO call or a
+// plain read of an already-tainted variable.
+func freshOrTainted(info *types.Info, rhs ast.Expr, tainted map[types.Object]bool) bool {
+	switch e := analysis.Unparen(rhs).(type) {
+	case *ast.CallExpr:
+		_, fresh := freshContextCall(info, e)
+		return fresh
+	case *ast.Ident:
+		obj := info.ObjectOf(e)
+		return obj != nil && tainted[obj]
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+// Package a exercises the ctxflow analyzer: context parameters must be
+// forwarded, fresh Background/TODO contexts are banned outside the
+// delegation-wrapper shape, and values chaining back to a fresh context
+// are tracked through locals.
+package a
+
+import "context"
+
+func accepts(ctx context.Context)            {}
+func acceptsTwo(ctx context.Context, n int)  {}
+func acceptsLast(n int, ctx context.Context) {}
+func plain(n int)                            {}
+
+// forward is the sanctioned shape: the parameter flows to the callee.
+func forward(ctx context.Context) {
+	accepts(ctx)
+}
+
+// derive keeps cancellation: contexts built from the parameter are fine.
+func derive(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	accepts(ctx2)
+}
+
+// detach is the sanctioned explicit-detachment idiom.
+func detach(ctx context.Context) {
+	accepts(context.WithoutCancel(ctx))
+}
+
+// wrapper is the sanctioned delegation shape: no ctx parameter of its
+// own, fresh context passed directly to the ctx-accepting call.
+func wrapper(n int) {
+	acceptsTwo(context.Background(), n)
+}
+
+// wrapperAnyPosition: the ctx parameter need not be first.
+func wrapperAnyPosition(n int) {
+	acceptsLast(n, context.TODO())
+}
+
+// dropsParam conjures a fresh context despite receiving one.
+func dropsParam(ctx context.Context, n int) {
+	acceptsTwo(context.Background(), n) // want `fresh context drops cancellation`
+}
+
+// todoDrop: TODO is no better than Background.
+func todoDrop(ctx context.Context) {
+	accepts(context.TODO()) // want `fresh context drops cancellation`
+}
+
+// indirect launders the fresh context through a local; both the creation
+// and the forwarding are flagged.
+func indirect(ctx context.Context) {
+	bg := context.Background() // want `fresh context drops cancellation`
+	accepts(bg)                // want `carries a fresh Background/TODO`
+}
+
+// copied: taint follows assignment chains.
+func copied(ctx context.Context) {
+	bg := context.Background() // want `fresh context drops cancellation`
+	c2 := bg
+	accepts(c2) // want `carries a fresh Background/TODO`
+}
+
+// stash has no ctx parameter, but storing the fresh context breaks the
+// delegation shape: the sanction requires passing it directly.
+func stash(n int) {
+	bg := context.Background() // want `accept a ctx parameter and forward it`
+	acceptsTwo(bg, n)          // want `carries a fresh Background/TODO`
+}
+
+// notDelegated: a fresh context that never reaches a ctx-accepting call
+// is not a wrapper, it is a leak.
+func notDelegated(n int) {
+	_ = context.Background() // want `accept a ctx parameter and forward it`
+	plain(n)
+}
+
+// closureDrop: closures capture the enclosing ctx; a fresh context
+// inside one is still a drop.
+func closureDrop(ctx context.Context) func() {
+	return func() {
+		accepts(context.Background()) // want `fresh context drops cancellation`
+	}
+}
+
+// closureForward: a closure with its own ctx parameter forwarding it is
+// the registry shape and stays clean.
+var closureForward = func(ctx context.Context, n int) {
+	acceptsTwo(ctx, n)
+}

@@ -1,0 +1,524 @@
+// Package dataflow is the intra-procedural analysis substrate of fdlint:
+// a statement-level control-flow graph, a forward must-analysis solver
+// over it (used by lockguard's guard-held tracking), a definition walker
+// for value tracking (used by ctxflow's context-derivation check and
+// poolrace's indirect-closure resolution), and a conservative escape
+// classification for local values (used by hotalloc to separate retained
+// output and grow-once scratch stores from per-call transient garbage).
+//
+// Everything here is deliberately approximate in the sound-for-our-use
+// direction: the CFG ignores goto (absent from the gated packages), the
+// must-solver treats unreachable blocks as contributing nothing to a
+// join, and escape analysis over-approximates (a value is "escaping" if
+// it *may* outlive the call), which for hotalloc means over-sanctioning,
+// never false findings... with the one documented exception that a
+// helper returning fresh memory sanctions its own allocation.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Block is one basic block: a maximal run of straight-line nodes.
+// Nodes holds plain statements and the header expressions of control
+// statements (an if condition, a switch tag, a range operand) in
+// evaluation order; the bodies of control statements live in successor
+// blocks. A node never contains another block's statements, but it may
+// contain function literals — analyses that walk a node's subtree must
+// decide explicitly how to treat nested *ast.FuncLit bodies.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Blocks []*Block
+}
+
+// NewGraph builds the CFG of a function body. A nil body (declaration
+// without a body) yields a graph with a single empty entry block.
+func NewGraph(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	entry := b.newBlock()
+	b.g.Entry = entry
+	if body != nil {
+		b.stmtList(entry, body.List)
+	}
+	for _, blk := range b.g.Blocks {
+		for _, s := range blk.Succs {
+			s.Preds = append(s.Preds, blk)
+		}
+	}
+	return b.g
+}
+
+type loopFrame struct {
+	label     string
+	brk, cont *Block
+}
+
+type builder struct {
+	g     *Graph
+	loops []loopFrame
+	// switchBreaks tracks the break target of the innermost switch or
+	// select, which shadows no loop frame (continue still binds to the
+	// enclosing loop).
+	switchBreaks []loopFrame
+	// label pending for the next loop/switch statement.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func link(from, to *Block) {
+	if from != nil {
+		from.Succs = append(from.Succs, to)
+	}
+}
+
+// stmtList threads the statements through cur, returning the block
+// control falls out of (nil when every path terminates).
+func (b *builder) stmtList(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		if cur == nil {
+			// Dead code after a terminator: give it its own unreachable
+			// block so its nodes still exist for position lookups.
+			cur = b.newBlock()
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *builder) stmt(cur *Block, s ast.Stmt) *Block {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		return b.stmt(cur, s.Stmt)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		thenB := b.newBlock()
+		link(cur, thenB)
+		thenOut := b.stmtList(thenB, s.Body.List)
+		after := b.newBlock()
+		if s.Else != nil {
+			elseB := b.newBlock()
+			link(cur, elseB)
+			elseOut := b.stmt(elseB, s.Else)
+			link(elseOut, after)
+		} else {
+			link(cur, after)
+		}
+		link(thenOut, after)
+		return after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		if s.Cond != nil {
+			link(head, after) // condition false
+		}
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		link(post, head)
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: post})
+		out := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		link(out, post)
+		if s.Cond == nil && len(after.Preds) == 0 {
+			// Infinite loop with no break: after is unreachable, which the
+			// must-solver handles (no in-state), so nothing special needed.
+			_ = after
+		}
+		return after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		cur.Nodes = append(cur.Nodes, s.X)
+		head := b.newBlock()
+		link(cur, head)
+		// The per-iteration key/value binding is part of the head.
+		if s.Key != nil {
+			head.Nodes = append(head.Nodes, s)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		link(head, body)
+		link(head, after)
+		b.loops = append(b.loops, loopFrame{label: label, brk: after, cont: head})
+		out := b.stmtList(body, s.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		link(out, head)
+		return after
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return b.switchLike(cur, s)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return nil
+
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.branchTarget(s, true); t != nil {
+				link(cur, t)
+			}
+		case token.CONTINUE:
+			if t := b.branchTarget(s, false); t != nil {
+				link(cur, t)
+			}
+		case token.GOTO:
+			// goto is absent from the gated packages; treat as a
+			// terminator (conservative for a must-analysis: the target
+			// simply sees one fewer predecessor).
+		case token.FALLTHROUGH:
+			// Handled structurally in switchLike via clause ordering.
+		}
+		return nil
+
+	case *ast.ExprStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		if isPanicCall(s.X) {
+			return nil
+		}
+		return cur
+
+	default:
+		// Assignments, declarations, defer, go, send, incdec, empty.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// branchTarget resolves a break (brk=true) or continue target.
+func (b *builder) branchTarget(s *ast.BranchStmt, brk bool) *Block {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	if brk && name == "" && len(b.switchBreaks) > 0 {
+		return b.switchBreaks[len(b.switchBreaks)-1].brk
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if name == "" || f.label == name {
+			if brk {
+				return f.brk
+			}
+			return f.cont
+		}
+	}
+	if brk {
+		// Labeled break naming a switch: fall back to the innermost
+		// switch frame.
+		for i := len(b.switchBreaks) - 1; i >= 0; i-- {
+			if b.switchBreaks[i].label == name {
+				return b.switchBreaks[i].brk
+			}
+		}
+	}
+	return nil
+}
+
+// switchLike lowers switch, type switch, and select: header expressions
+// evaluate in cur, every clause gets its own block branching from cur,
+// and clauses without an explicit terminator flow to the after block.
+func (b *builder) switchLike(cur *Block, s ast.Stmt) *Block {
+	label := b.takeLabel()
+	var clauses []ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	after := b.newBlock()
+	b.switchBreaks = append(b.switchBreaks, loopFrame{label: label, brk: after})
+	blocks := make([]*Block, len(clauses))
+	outs := make([]*Block, len(clauses))
+	for i, c := range clauses {
+		blk := b.newBlock()
+		blocks[i] = blk
+		link(cur, blk)
+		var body []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			body = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				blk.Nodes = append(blk.Nodes, c.Comm)
+			} else {
+				hasDefault = true
+			}
+			body = c.Body
+		}
+		outs[i] = b.stmtList(blk, body)
+	}
+	b.switchBreaks = b.switchBreaks[:len(b.switchBreaks)-1]
+	for i, out := range outs {
+		if out == nil {
+			// Terminated — but a trailing fallthrough re-enters the next
+			// clause's body; detect it on the original clause.
+			if i+1 < len(blocks) && endsInFallthrough(clauses[i]) {
+				// The fallthrough transfers control unconditionally into
+				// clause i+1's body block.
+				link(lastBodyBlock(b, clauses[i]), blocks[i+1])
+			}
+			continue
+		}
+		link(out, after)
+	}
+	if _, isSelect := s.(*ast.SelectStmt); !hasDefault && !isSelect {
+		// No default clause: the switch can fall through entirely.
+		link(cur, after)
+	}
+	if isSel, ok := s.(*ast.SelectStmt); ok && !hasDefault {
+		// A select without default blocks until one comm proceeds; no
+		// fall-past edge.
+		_ = isSel
+	}
+	return after
+}
+
+func endsInFallthrough(clause ast.Stmt) bool {
+	var body []ast.Stmt
+	switch c := clause.(type) {
+	case *ast.CaseClause:
+		body = c.Body
+	default:
+		return false
+	}
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+// lastBodyBlock finds the block holding the final statement of a clause
+// body (where its fallthrough sits).
+func lastBodyBlock(b *builder, clause ast.Stmt) *Block {
+	c, ok := clause.(*ast.CaseClause)
+	if !ok || len(c.Body) == 0 {
+		return nil
+	}
+	last := c.Body[len(c.Body)-1]
+	for _, blk := range b.g.Blocks {
+		for _, n := range blk.Nodes {
+			if n == last {
+				return blk
+			}
+		}
+	}
+	return nil
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// MustState is a set of string-keyed facts that definitely hold at a
+// program point (e.g. "sess.mu" = this guard is held).
+type MustState map[string]bool
+
+func (m MustState) clone() MustState {
+	c := make(MustState, len(m))
+	for k, v := range m {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// intersect keeps only the facts present in both states.
+func intersect(a, b MustState) MustState {
+	out := make(MustState)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func equalState(a, b MustState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardMust solves a forward must-analysis to fixpoint: a fact holds
+// at a point only if it holds on every path reaching it. transfer is
+// applied to each node in order and mutates the state in place. The
+// returned map gives the state at entry to every reachable block;
+// unreachable blocks are absent.
+func (g *Graph) ForwardMust(entry MustState, transfer func(n ast.Node, state MustState)) map[*Block]MustState {
+	in := map[*Block]MustState{g.Entry: entry.clone()}
+	work := []*Block{g.Entry}
+	outOf := func(b *Block) MustState {
+		st := in[b].clone()
+		for _, n := range b.Nodes {
+			transfer(n, st)
+		}
+		return st
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := outOf(b)
+		for _, s := range b.Succs {
+			var next MustState
+			if cur, ok := in[s]; ok {
+				next = intersect(cur, out)
+				if equalState(cur, next) {
+					continue
+				}
+			} else {
+				next = out.clone()
+			}
+			in[s] = next
+			work = append(work, s)
+		}
+	}
+	return in
+}
+
+// VisitAssignments reports every place a variable acquires a value
+// inside root: short variable declarations, assignments, var specs with
+// initializers, and the bindings of range and type-switch statements
+// (reported with a nil rhs, as no single defining expression exists).
+// Nested function literals are included — object identity keeps
+// captured-variable tracking correct across closure boundaries.
+func VisitAssignments(info *types.Info, root ast.Node, fn func(obj types.Object, rhs ast.Expr)) {
+	objOf := func(e ast.Expr) types.Object {
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		return info.ObjectOf(id)
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if obj := objOf(lhs); obj != nil {
+						fn(obj, n.Rhs[i])
+					}
+				}
+			} else if len(n.Rhs) == 1 {
+				// Tuple assignment: every lhs var takes its value from
+				// the one call/comma-ok expression.
+				for _, lhs := range n.Lhs {
+					if obj := objOf(lhs); obj != nil {
+						fn(obj, n.Rhs[0])
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				obj := info.ObjectOf(name)
+				if obj == nil {
+					continue
+				}
+				switch {
+				case len(n.Values) == len(n.Names):
+					fn(obj, n.Values[i])
+				case len(n.Values) == 1:
+					fn(obj, n.Values[0])
+				default:
+					fn(obj, nil)
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := objOf(n.Key); obj != nil {
+				fn(obj, nil)
+			}
+			if n.Value != nil {
+				if obj := objOf(n.Value); obj != nil {
+					fn(obj, nil)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			if a, ok := n.Assign.(*ast.AssignStmt); ok && len(a.Lhs) == 1 {
+				// The per-clause binding objects live in Implicits; the
+				// syntactic ident has no single object. Report the
+				// switched expression for each implicit binding.
+				for _, clause := range n.Body.List {
+					if obj := info.Implicits[clause]; obj != nil && len(a.Rhs) == 1 {
+						fn(obj, a.Rhs[0])
+					}
+				}
+			}
+		}
+		return true
+	})
+}

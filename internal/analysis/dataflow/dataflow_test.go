@@ -1,0 +1,450 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheck parses and checks one self-contained file (no imports).
+func typecheck(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Error: func(error) {}}
+	if _, err := conf.Check("x", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, f, info
+}
+
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+// lockTransfer interprets mu.Lock/mu.Unlock calls as acquiring and
+// releasing the fact "mu". Everything else is a no-op.
+func lockTransfer(n ast.Node, state MustState) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != "mu" {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		state["mu"] = true
+	case "Unlock":
+		delete(state, "mu")
+	}
+}
+
+// stateAtUse runs ForwardMust over fn's body and returns whether "mu"
+// must be held at each use() call, in source order.
+func stateAtUse(t *testing.T, fn *ast.FuncDecl) []bool {
+	t.Helper()
+	g := NewGraph(fn.Body)
+	in := g.ForwardMust(MustState{}, lockTransfer)
+	type hit struct {
+		pos  token.Pos
+		held bool
+	}
+	var hits []hit
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable
+		}
+		st = st.clone()
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+						hits = append(hits, hit{pos: n.Pos(), held: st["mu"]})
+					}
+				}
+			}
+			lockTransfer(n, st)
+		}
+	}
+	for i := 1; i < len(hits); i++ {
+		if hits[i].pos < hits[i-1].pos {
+			hits[i], hits[i-1] = hits[i-1], hits[i]
+		}
+	}
+	out := make([]bool, len(hits))
+	for i, h := range hits {
+		out[i] = h.held
+	}
+	return out
+}
+
+const lockHarness = `package x
+type mutex struct{}
+func (mutex) Lock()   {}
+func (mutex) Unlock() {}
+var mu mutex
+func use() {}
+`
+
+func TestForwardMustStraightLine(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f() {
+	mu.Lock()
+	use()
+	mu.Unlock()
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	want := []bool{true, false}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("held = %v, want %v", got, want)
+	}
+}
+
+func TestForwardMustConditionalRelease(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(c bool) {
+	mu.Lock()
+	if c {
+		mu.Unlock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || got[0] {
+		t.Errorf("held = %v, want [false]: unlock on one path must kill the fact", got)
+	}
+}
+
+func TestForwardMustBothBranchesAcquire(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(c bool) {
+	if c {
+		mu.Lock()
+	} else {
+		mu.Lock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || !got[0] {
+		t.Errorf("held = %v, want [true]: both paths acquire", got)
+	}
+}
+
+func TestForwardMustLoopBackEdge(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(n int) {
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		use()
+		mu.Unlock()
+	}
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || got[0] {
+		t.Errorf("held = %v, want [false]: back edge brings the unlocked state", got)
+	}
+}
+
+func TestForwardMustLoopReacquire(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(n int) {
+	mu.Lock()
+	for i := 0; i < n; i++ {
+		use()
+		mu.Unlock()
+		mu.Lock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	want := []bool{true, true}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("held = %v, want %v: re-acquired before the back edge", got, want)
+	}
+}
+
+func TestForwardMustSwitch(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(n int) {
+	switch n {
+	case 0:
+		mu.Lock()
+	case 1:
+		mu.Lock()
+	default:
+		mu.Lock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || !got[0] {
+		t.Errorf("held = %v, want [true]: every clause (incl. default) acquires", got)
+	}
+}
+
+func TestForwardMustSwitchNoDefault(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(n int) {
+	switch n {
+	case 0:
+		mu.Lock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || got[0] {
+		t.Errorf("held = %v, want [false]: no default, fall-past path never locks", got)
+	}
+}
+
+func TestForwardMustEarlyReturn(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(c bool) {
+	if c {
+		return
+	}
+	mu.Lock()
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || !got[0] {
+		t.Errorf("held = %v, want [true]: returning path does not reach use", got)
+	}
+}
+
+func TestForwardMustPanicTerminates(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(c bool) {
+	if c {
+		panic("bad")
+	} else {
+		mu.Lock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	if len(got) != 1 || !got[0] {
+		t.Errorf("held = %v, want [true]: panicking path contributes nothing to the join", got)
+	}
+}
+
+func TestForwardMustLabeledBreak(t *testing.T) {
+	_, f, _ := typecheck(t, lockHarness+`
+func f(n int) {
+outer:
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+			mu.Unlock()
+			mu.Lock()
+		}
+		mu.Unlock()
+	}
+	use()
+}`)
+	got := stateAtUse(t, funcDecl(t, f, "f"))
+	// The labeled break exits with mu held; the normal loop exit path has
+	// it released. The join must drop the fact.
+	if len(got) != 1 || got[0] {
+		t.Errorf("held = %v, want [false]", got)
+	}
+}
+
+func TestVisitAssignments(t *testing.T) {
+	_, f, info := typecheck(t, `package x
+func g() (int, bool) { return 1, true }
+func f() int {
+	a := 1
+	var b = 2
+	c, ok := g()
+	_ = ok
+	sum := 0
+	for i, v := range []int{a, b, c} {
+		sum += i + v
+	}
+	return sum
+}`)
+	fn := funcDecl(t, f, "f")
+	defs := make(map[string]int)
+	VisitAssignments(info, fn, func(obj types.Object, rhs ast.Expr) {
+		defs[obj.Name()]++
+	})
+	for _, name := range []string{"a", "b", "c", "ok", "sum", "i", "v"} {
+		if defs[name] == 0 {
+			t.Errorf("no definition reported for %s (got %v)", name, defs)
+		}
+	}
+}
+
+const escapeSrc = `package x
+type S struct{ buf []int }
+func sink([]int) {}
+func (s *S) grow(n int) {
+	b := make([]int, n)
+	s.buf = b
+	tmp := make([]int, n)
+	_ = len(tmp)
+	local := make([]int, n)
+	local[0] = 1
+}
+func ret(n int) []int {
+	out := make([]int, n)
+	return out
+}
+func pass(n int) {
+	sink(make([]int, n))
+}
+func retDirect(n int) []int {
+	return make([]int, n)
+}
+`
+
+// makeSites returns each make(...) call in fn with its ancestor stack.
+func makeSites(fn *ast.FuncDecl) [][]ast.Node {
+	var out [][]ast.Node
+	var stack []ast.Node
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "make" {
+				out = append(out, append([]ast.Node(nil), stack...))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func TestEscapesFieldStoreAndTransient(t *testing.T) {
+	_, f, info := typecheck(t, escapeSrc)
+	fn := funcDecl(t, f, "grow")
+	esc := NewEscapes(info, fn)
+	sites := makeSites(fn)
+	if len(sites) != 3 {
+		t.Fatalf("found %d make sites, want 3", len(sites))
+	}
+	if !esc.ExprEscapes(sites[0]) {
+		t.Errorf("make stored to field via b should escape")
+	}
+	if esc.ExprEscapes(sites[1]) {
+		t.Errorf("tmp (only len'd and discarded) should not escape")
+	}
+	if esc.ExprEscapes(sites[2]) {
+		t.Errorf("local (only element-written) should not escape")
+	}
+}
+
+func TestEscapesReturn(t *testing.T) {
+	_, f, info := typecheck(t, escapeSrc)
+	for _, name := range []string{"ret", "retDirect"} {
+		fn := funcDecl(t, f, name)
+		esc := NewEscapes(info, fn)
+		sites := makeSites(fn)
+		if len(sites) != 1 {
+			t.Fatalf("%s: found %d make sites, want 1", name, len(sites))
+		}
+		if !esc.ExprEscapes(sites[0]) {
+			t.Errorf("%s: returned make should escape", name)
+		}
+	}
+}
+
+func TestEscapesCallArg(t *testing.T) {
+	_, f, info := typecheck(t, escapeSrc)
+	fn := funcDecl(t, f, "pass")
+	esc := NewEscapes(info, fn)
+	sites := makeSites(fn)
+	if len(sites) != 1 || !esc.ExprEscapes(sites[0]) {
+		t.Errorf("make passed as call argument should escape")
+	}
+}
+
+func TestEscapesClosureCapture(t *testing.T) {
+	_, f, info := typecheck(t, `package x
+func keep(func()) {}
+func f(n int) {
+	b := make([]int, n)
+	keep(func() { b[0] = 1 })
+}`)
+	fn := funcDecl(t, f, "f")
+	esc := NewEscapes(info, fn)
+	sites := makeSites(fn)
+	if len(sites) != 1 {
+		t.Fatalf("found %d make sites, want 1", len(sites))
+	}
+	if !esc.ExprEscapes(sites[0]) {
+		t.Errorf("value captured by a closure passed to a call should escape")
+	}
+}
+
+func TestGraphDeadCodeHasBlocks(t *testing.T) {
+	src := lockHarness + `
+func f() int {
+	return 1
+	use()
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := funcDecl(t, file, "f")
+	g := NewGraph(fn.Body)
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dead statement missing from every block")
+	}
+	if !strings.Contains(src, "use()") {
+		t.Fatal("test harness broken")
+	}
+}

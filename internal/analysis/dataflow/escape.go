@@ -1,0 +1,400 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Escapes classifies the local variables of one function by whether
+// their values may outlive the call: reach a return value, a store into
+// memory visible outside the function (field, element, or pointer
+// target rooted outside, or rooted in an escaping local), a call
+// argument, a channel send, or a variable not declared in the function
+// (captured or package-level). hotalloc uses this to tell retained
+// output and grow-once scratch stores apart from per-call transient
+// allocations; the classification deliberately over-approximates, so it
+// only ever widens the sanctioned set.
+type Escapes struct {
+	info *types.Info
+	fn   ast.Node
+	objs map[types.Object]bool
+}
+
+// NewEscapes computes the escape classification for fn (a *ast.FuncDecl
+// or *ast.FuncLit). Nested function literals are walked too: capturing a
+// value in a closure makes it reachable from the closure, which itself
+// is a value that can escape.
+func NewEscapes(info *types.Info, fn ast.Node) *Escapes {
+	e := &Escapes{info: info, fn: fn, objs: make(map[types.Object]bool)}
+
+	body, ftype := funcParts(fn)
+	if body == nil {
+		return e
+	}
+	// Seeds: parameters, receivers, and named results are caller-visible.
+	if ftype != nil {
+		for _, f := range fieldObjs(info, ftype) {
+			e.objs[f] = true
+		}
+	}
+	if fd, ok := fn.(*ast.FuncDecl); ok && fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, name := range f.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					e.objs[obj] = true
+				}
+			}
+		}
+	}
+
+	// Conditional edges: if key escapes, every object in the set does.
+	edges := make(map[types.Object][]types.Object)
+	addEdge := func(from types.Object, to []types.Object) {
+		edges[from] = append(edges[from], to...)
+	}
+	markAll := func(objs []types.Object) {
+		for _, o := range objs {
+			e.objs[o] = true
+		}
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				markAll(e.localIdents(r))
+			}
+		case *ast.SendStmt:
+			markAll(e.localIdents(n.Value))
+		case *ast.GoStmt:
+			markAll(e.localIdents(n.Call))
+		case *ast.DeferStmt:
+			markAll(e.localIdents(n.Call))
+		case *ast.CallExpr:
+			if name, isBuiltin := builtinName(e.info, n); isBuiltin {
+				switch name {
+				case "append":
+					// The result aliases the first argument; flow is
+					// handled at the enclosing assignment. Appended
+					// elements do flow into the destination.
+					if len(n.Args) > 1 {
+						for _, a := range n.Args[1:] {
+							markAll(e.localIdents(a))
+						}
+					}
+				case "len", "cap", "delete", "clear", "min", "max", "print", "println":
+					// Value does not flow out through these.
+				default:
+					for _, a := range n.Args {
+						markAll(e.localIdents(a))
+					}
+				}
+				return true
+			}
+			for _, a := range n.Args {
+				markAll(e.localIdents(a))
+			}
+		case *ast.FuncLit:
+			// A closure is itself a value that can escape; rather than
+			// track the literal's own flow, conservatively treat every
+			// variable it captures as escaping. Capture is by reference,
+			// so even a scalar element read pins the variable.
+			for _, obj := range e.referencedLocals(n.Body) {
+				if obj.Pos() < n.Pos() || obj.Pos() >= n.End() {
+					e.objs[obj] = true
+				}
+			}
+		case *ast.AssignStmt:
+			e.assignEdges(n.Lhs, n.Rhs, addEdge, markAll)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, name := range n.Names {
+				lhs[i] = name
+			}
+			e.assignEdges(lhs, n.Values, addEdge, markAll)
+		}
+		return true
+	})
+
+	// Propagate to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for from, tos := range edges {
+			if !e.objs[from] {
+				continue
+			}
+			for _, to := range tos {
+				if !e.objs[to] {
+					e.objs[to] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return e
+}
+
+// assignEdges records the flow of one (possibly tuple) assignment.
+func (e *Escapes) assignEdges(lhs, rhs []ast.Expr, addEdge func(types.Object, []types.Object), markAll func([]types.Object)) {
+	for i, l := range lhs {
+		var sources []types.Object
+		switch {
+		case len(rhs) == len(lhs):
+			sources = e.localIdents(rhs[i])
+		case len(rhs) == 1:
+			sources = e.localIdents(rhs[0])
+		}
+		if len(sources) == 0 {
+			continue
+		}
+		switch l := unparen(l).(type) {
+		case *ast.Ident:
+			obj := e.info.ObjectOf(l)
+			if obj == nil || l.Name == "_" {
+				continue
+			}
+			if e.objs[obj] || !e.declaredIn(obj) {
+				markAll(sources)
+			} else {
+				addEdge(obj, sources)
+			}
+		default:
+			// Store through a selector, index, or pointer: the value
+			// escapes the variable graph if the store target's root does.
+			root := rootObj(e.info, l)
+			if root == nil || e.objs[root] || !e.declaredIn(root) {
+				markAll(sources)
+			} else {
+				addEdge(root, sources)
+			}
+		}
+	}
+}
+
+// Escaping reports whether obj's value may outlive the call.
+func (e *Escapes) Escaping(obj types.Object) bool {
+	if obj == nil {
+		return true
+	}
+	if e.objs[obj] {
+		return true
+	}
+	return !e.declaredIn(obj)
+}
+
+// ExprEscapes reports whether the value of expr (found at stack, the
+// ancestor chain from WalkStack with expr last) flows somewhere that
+// outlives the call. Used on allocation expressions: a make that is
+// returned, stored into a field, or passed to a callee is retained
+// output or reused state; one that stays in non-escaping locals is
+// per-call garbage.
+func (e *Escapes) ExprEscapes(stack []ast.Node) bool {
+	for i := len(stack) - 2; i >= 0; i-- {
+		child := stack[i+1]
+		switch p := stack[i].(type) {
+		case *ast.ReturnStmt, *ast.SendStmt, *ast.GoStmt, *ast.DeferStmt:
+			return true
+		case *ast.CallExpr:
+			if p.Fun == child {
+				// The allocation is the function being called, not data.
+				return false
+			}
+			if name, isBuiltin := builtinName(e.info, p); isBuiltin {
+				switch name {
+				case "append":
+					continue // result carries the value; keep walking up
+				case "len", "cap", "delete", "clear":
+					return false
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			return e.assignTargetEscapes(p, child)
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				obj := e.info.ObjectOf(name)
+				if obj == nil || e.Escaping(obj) {
+					return true
+				}
+			}
+			return false
+		case *ast.KeyValueExpr, *ast.CompositeLit, *ast.ParenExpr,
+			*ast.UnaryExpr, *ast.StarExpr, *ast.SliceExpr, *ast.BinaryExpr,
+			*ast.TypeAssertExpr, *ast.IndexExpr:
+			continue
+		case *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.CaseClause, *ast.BlockStmt:
+			return false
+		default:
+			// Unknown context: assume it escapes (sanction, never flag).
+			return true
+		}
+	}
+	return true
+}
+
+// assignTargetEscapes resolves which lhs an rhs expression feeds and
+// whether that target escapes.
+func (e *Escapes) assignTargetEscapes(a *ast.AssignStmt, rhs ast.Node) bool {
+	idx := -1
+	for i, r := range a.Rhs {
+		if r == rhs {
+			idx = i
+		}
+	}
+	var targets []ast.Expr
+	switch {
+	case idx >= 0 && len(a.Lhs) == len(a.Rhs):
+		targets = []ast.Expr{a.Lhs[idx]}
+	default:
+		targets = a.Lhs
+	}
+	for _, t := range targets {
+		switch t := unparen(t).(type) {
+		case *ast.Ident:
+			if t.Name == "_" {
+				continue
+			}
+			if e.Escaping(e.info.ObjectOf(t)) {
+				return true
+			}
+		default:
+			root := rootObj(e.info, t)
+			if root == nil || e.Escaping(root) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// localIdents collects the objects of identifiers within expr that are
+// declared inside the function (only those participate in the local
+// flow graph; everything else is already caller-visible). Two reads do
+// not propagate the container: indexing out a scalar element (the copy
+// cannot point back into the backing store) and len/cap.
+func (e *Escapes) localIdents(expr ast.Node) []types.Object {
+	var out []types.Object
+	var visit func(n ast.Node)
+	visit = func(root ast.Node) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IndexExpr:
+				if tv, ok := e.info.Types[n]; ok && tv.Type != nil && scalarType(tv.Type) {
+					visit(n.Index)
+					return false
+				}
+			case *ast.CallExpr:
+				if name, isBuiltin := builtinName(e.info, n); isBuiltin && (name == "len" || name == "cap") {
+					return false
+				}
+			case *ast.Ident:
+				if obj, isVar := e.info.ObjectOf(n).(*types.Var); isVar && e.declaredIn(obj) {
+					out = append(out, obj)
+				}
+			}
+			return true
+		})
+	}
+	visit(expr)
+	return out
+}
+
+// referencedLocals collects every function-local identifier within
+// expr, with no read refinements — used for closure capture, where any
+// reference pins the variable.
+func (e *Escapes) referencedLocals(expr ast.Node) []types.Object {
+	var out []types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, isVar := e.info.ObjectOf(id).(*types.Var); isVar && e.declaredIn(obj) {
+				out = append(out, obj)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// scalarType reports types whose values carry no interior pointers, so
+// copying one out of a container cannot keep the container alive.
+func scalarType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() != types.UnsafePointer && b.Kind() != types.Invalid
+}
+
+func (e *Escapes) declaredIn(obj types.Object) bool {
+	return obj != nil && e.fn != nil && e.fn.Pos() <= obj.Pos() && obj.Pos() < e.fn.End()
+}
+
+func funcParts(fn ast.Node) (*ast.BlockStmt, *ast.FuncType) {
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		return fn.Body, fn.Type
+	case *ast.FuncLit:
+		return fn.Body, fn.Type
+	}
+	return nil, nil
+}
+
+func fieldObjs(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := info.ObjectOf(name); obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+	}
+	add(ft.Params)
+	add(ft.Results)
+	return out
+}
+
+// builtinName reports whether call invokes a language builtin.
+func builtinName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if _, isBuiltin := info.ObjectOf(id).(*types.Builtin); isBuiltin {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// rootObj returns the object at the base of a selector/index/star/paren
+// chain, or nil when the base is not a plain identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,212 @@
+// Package facts is the cross-package side channel of fdlint's analyzers:
+// a keyed store of JSON-serializable summaries (function allocation
+// profiles, lock-guard annotations) that analyzers export while checking
+// one package and import while checking its dependents — the stdlib-only
+// analogue of go/analysis facts.
+//
+// In standalone mode the store lives in memory for the whole run:
+// analysis.Load returns packages in dependency order (`go list -deps`
+// emits dependencies before dependents), so a dependent package's pass
+// always sees the facts its imports produced. Under the `go vet
+// -vettool` protocol each package runs in its own process; the store is
+// serialized into the .vetx facts file the go command threads from each
+// package's vet run to its importers'.
+package facts
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"sort"
+	"sync"
+)
+
+// FuncID names one function or method across package boundaries:
+// "pkg/path.Name" for functions, "pkg/path.(Type).Name" for methods
+// (pointer and value receivers share an ID — the analyzers' summaries
+// don't depend on receiver form).
+type FuncID string
+
+// IDOf derives the FuncID of a resolved function object. Returns "" for
+// nil, builtins, and interface methods without a concrete receiver type.
+func IDOf(fn *types.Func) FuncID {
+	if fn == nil {
+		return ""
+	}
+	path := ""
+	if fn.Pkg() != nil {
+		path = fn.Pkg().Path()
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			// Interface receiver or type parameter: no stable concrete ID.
+			return ""
+		}
+		return FuncID(fmt.Sprintf("%s.(%s).%s", path, named.Obj().Name(), fn.Name()))
+	}
+	return FuncID(path + "." + fn.Name())
+}
+
+// IDOfDecl derives the FuncID of a function declaration in the package
+// being analyzed.
+func IDOfDecl(info *types.Info, decl *ast.FuncDecl) FuncID {
+	fn, _ := info.Defs[decl.Name].(*types.Func)
+	return IDOf(fn)
+}
+
+// Callee resolves the concrete function a call expression invokes, or
+// nil for calls through function values, builtins, and conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // generic instantiation f[T](...)
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	case *ast.IndexListExpr:
+		if base, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			id = base
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// SchemaVersion guards the vetx wire format; bump on incompatible
+// changes so stale build-cache entries are rejected, not misread.
+const SchemaVersion = 1
+
+// Store holds facts grouped by analyzer name. Safe for concurrent use.
+type Store struct {
+	mu sync.Mutex
+	m  map[string]map[string]json.RawMessage
+}
+
+// NewStore returns an empty facts store.
+func NewStore() *Store {
+	return &Store{m: make(map[string]map[string]json.RawMessage)}
+}
+
+// Set records a fact, replacing any prior fact under the same key.
+func (s *Store) Set(analyzer, key string, fact any) error {
+	data, err := json.Marshal(fact)
+	if err != nil {
+		return fmt.Errorf("facts: encoding %s/%s: %w", analyzer, key, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	byKey := s.m[analyzer]
+	if byKey == nil {
+		byKey = make(map[string]json.RawMessage)
+		s.m[analyzer] = byKey
+	}
+	byKey[key] = data
+	return nil
+}
+
+// Get decodes the fact stored under (analyzer, key) into out, reporting
+// whether one exists.
+func (s *Store) Get(analyzer, key string, out any) bool {
+	s.mu.Lock()
+	data, ok := s.m[analyzer][key]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, out) == nil
+}
+
+// Keys returns the sorted keys holding facts for analyzer.
+func (s *Store) Keys(analyzer string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.m[analyzer]))
+	for k := range s.m[analyzer] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// wire is the serialized store: schema-versioned so toolchain-cached
+// vetx files from an older fdlint are rejected cleanly.
+type wire struct {
+	Schema int                                   `json:"schema"`
+	Facts  map[string]map[string]json.RawMessage `json:"facts"`
+}
+
+// Export serializes the whole store.
+func (s *Store) Export() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return json.Marshal(wire{Schema: SchemaVersion, Facts: s.m})
+}
+
+// Import merges serialized facts into the store. Empty input is a
+// no-op (fact-free packages write empty vetx files); a schema mismatch
+// is an error.
+func (s *Store) Import(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var w wire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("facts: decoding: %w", err)
+	}
+	if w.Schema != SchemaVersion {
+		return fmt.Errorf("facts: schema %d, tool expects %d", w.Schema, SchemaVersion)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for analyzer, byKey := range w.Facts {
+		dst := s.m[analyzer]
+		if dst == nil {
+			dst = make(map[string]json.RawMessage)
+			s.m[analyzer] = dst
+		}
+		for k, v := range byKey {
+			dst[k] = v
+		}
+	}
+	return nil
+}
+
+// ExportFile writes the store to path.
+func (s *Store) ExportFile(path string) error {
+	data, err := s.Export()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
+}
+
+// ImportFile merges the facts file at path; a missing or empty file is
+// a no-op.
+func (s *Store) ImportFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return s.Import(data)
+}

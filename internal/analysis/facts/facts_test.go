@@ -1,0 +1,136 @@
+package facts
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	type summary struct {
+		Callees []string `json:"callees"`
+		Clean   bool     `json:"clean"`
+	}
+	s := NewStore()
+	if err := s.Set("hotalloc", "p.F", summary{Callees: []string{"p.G"}, Clean: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set("lockguard", "p.T.field", "mu"); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := s.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	var got summary
+	if !s2.Get("hotalloc", "p.F", &got) {
+		t.Fatal("fact lost in round trip")
+	}
+	if !got.Clean || len(got.Callees) != 1 || got.Callees[0] != "p.G" {
+		t.Errorf("fact mutated in round trip: %+v", got)
+	}
+	var guard string
+	if !s2.Get("lockguard", "p.T.field", &guard) || guard != "mu" {
+		t.Errorf("guard fact = %q, want mu", guard)
+	}
+	if keys := s2.Keys("hotalloc"); len(keys) != 1 || keys[0] != "p.F" {
+		t.Errorf("Keys = %v", keys)
+	}
+}
+
+func TestImportEmptyAndMerge(t *testing.T) {
+	s := NewStore()
+	if err := s.Import(nil); err != nil {
+		t.Fatalf("empty import: %v", err)
+	}
+	a, b := NewStore(), NewStore()
+	if err := a.Set("x", "k1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("x", "k2", 2); err != nil {
+		t.Fatal(err)
+	}
+	data, err := b.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Import(data); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if !a.Get("x", "k1", &v) || v != 1 {
+		t.Errorf("k1 = %d after merge", v)
+	}
+	if !a.Get("x", "k2", &v) || v != 2 {
+		t.Errorf("k2 = %d after merge", v)
+	}
+}
+
+func TestImportSchemaMismatch(t *testing.T) {
+	s := NewStore()
+	if err := s.Import([]byte(`{"schema":99,"facts":{}}`)); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+func TestIDOf(t *testing.T) {
+	src := `package p
+type T struct{}
+func (t *T) M() {}
+func (t T) V() {}
+func F() {}
+func caller() { F(); (&T{}).M(); T{}.V() }`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs: make(map[*ast.Ident]types.Object),
+		Uses: make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("example.com/p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]FuncID{
+		"M": "example.com/p.(T).M",
+		"V": "example.com/p.(T).V",
+		"F": "example.com/p.F",
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name == "caller" {
+			continue
+		}
+		if got := IDOfDecl(info, fd); got != want[fd.Name.Name] {
+			t.Errorf("IDOfDecl(%s) = %q, want %q", fd.Name.Name, got, want[fd.Name.Name])
+		}
+	}
+	// Callee resolution at call sites must produce the same IDs.
+	var ids []FuncID
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := Callee(info, call); fn != nil {
+				ids = append(ids, IDOf(fn))
+			}
+		}
+		return true
+	})
+	seen := make(map[FuncID]bool)
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for name, id := range want {
+		if !seen[id] {
+			t.Errorf("call to %s not resolved to %q (got %v)", name, id, ids)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package floatdet enforces the float-determinism discipline of the
+// score-computing packages (see analysis.FloatGatedPackage): AFD error
+// measures and evaluation metrics must accumulate in integers and
+// perform one final divide, because floating-point addition is not
+// associative — a running float sum makes the result depend on
+// iteration order, which the worker pool does not fix. Two shapes are
+// flagged: float accumulation inside a loop (compound assignment,
+// self-referential reassignment, or ++/-- on a float), and float
+// comparisons computed over inline float arithmetic (the comparison
+// outcome, and with it control flow, would inherit rounding that
+// differs by evaluation path). Comparing stored scores against
+// thresholds or constants stays sanctioned — that is the single-divide
+// contract working as intended. This is determinism invariant I8 in
+// DESIGN.md.
+package floatdet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"eulerfd/internal/analysis"
+)
+
+// Analyzer is the floatdet check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floatdet",
+	Doc:  "forbid loop-carried float accumulation and float-arithmetic comparisons in score-computing packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.FloatGatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, n, stack)
+		case *ast.IncDecStmt:
+			if isFloat(pass.TypesInfo, n.X) && inLoop(stack) {
+				pass.Reportf(n.Pos(), "float %s in a loop; accumulate in integers and divide once after the loop (invariant I8)", n.Tok)
+			}
+		case *ast.BinaryExpr:
+			checkCompare(pass, n)
+		}
+	})
+	return nil
+}
+
+// checkAssign flags loop-carried float accumulation: x += e, x -= e,
+// x *= e, x /= e, and the spelled-out x = x + e.
+func checkAssign(pass *analysis.Pass, a *ast.AssignStmt, stack []ast.Node) {
+	if !inLoop(stack) {
+		return
+	}
+	switch a.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range a.Lhs {
+			if isFloat(pass.TypesInfo, lhs) {
+				pass.Reportf(a.Pos(), "float %s accumulation in a loop makes the result depend on iteration order; accumulate in integers and divide once after the loop (invariant I8)", a.Tok)
+				return
+			}
+		}
+	case token.ASSIGN:
+		if len(a.Lhs) != len(a.Rhs) {
+			return
+		}
+		for i, lhs := range a.Lhs {
+			id, ok := analysis.Unparen(lhs).(*ast.Ident)
+			if !ok || !isFloat(pass.TypesInfo, lhs) {
+				continue
+			}
+			obj := pass.TypesInfo.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			if analysis.MentionsObject(pass.TypesInfo, a.Rhs[i], obj) {
+				pass.Reportf(a.Pos(), "loop-carried float reassignment of %s depends on iteration order; accumulate in integers and divide once after the loop (invariant I8)", id.Name)
+			}
+		}
+	}
+}
+
+// checkCompare flags comparisons whose operands carry inline float
+// arithmetic. Comparing two stored floats (score <= threshold) or a
+// float against a constant (tp > 0) is the sanctioned single-divide
+// pattern and passes.
+func checkCompare(pass *analysis.Pass, b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	if !isFloat(pass.TypesInfo, b.X) && !isFloat(pass.TypesInfo, b.Y) {
+		return
+	}
+	if isConst(pass.TypesInfo, b.X) || isConst(pass.TypesInfo, b.Y) {
+		return
+	}
+	if hasFloatArith(pass.TypesInfo, b.X) || hasFloatArith(pass.TypesInfo, b.Y) {
+		pass.Reportf(b.Pos(), "float comparison over inline arithmetic; compute the score once (integer accumulate, single divide) and compare the stored value (invariant I8)")
+	}
+}
+
+// inLoop reports whether the innermost statement context on stack is a
+// for or range body within the same function (function literals reset
+// the notion of loop-carried).
+func inLoop(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+func isFloat(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// hasFloatArith reports whether e's subtree computes float arithmetic
+// (+, -, *, /) rather than merely reading stored values.
+func hasFloatArith(info *types.Info, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			if isFloat(info, b) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/floatdet"
+)
+
+func TestFloatDet(t *testing.T) {
+	analysistest.Run(t, floatdet.Analyzer, "testdata/src/a")
+}

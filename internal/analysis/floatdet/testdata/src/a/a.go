@@ -1,0 +1,97 @@
+// Package a exercises the floatdet analyzer: loop-carried float
+// accumulation and float-arithmetic comparisons are flagged; the
+// integer-accumulate/single-divide discipline and stored-value
+// threshold comparisons are sanctioned.
+package a
+
+// singleDivide is the sanctioned discipline: integer counts in the
+// loop, one float divide at the end.
+func singleDivide(viol []int, total int) float64 {
+	sum := 0
+	for _, v := range viol {
+		sum += v
+	}
+	return float64(sum) / float64(total)
+}
+
+// thresholdCompare reads two stored scores: sanctioned.
+func thresholdCompare(score, eps float64) bool {
+	return score <= eps
+}
+
+// constCompare guards against a constant: sanctioned.
+func constCompare(tp float64) float64 {
+	if tp > 0 {
+		return tp
+	}
+	return 0
+}
+
+// runningSum accumulates a float across iterations.
+func runningSum(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total += x // want `float \+= accumulation in a loop`
+	}
+	return total
+}
+
+// spelledOut is the same bug without the compound token.
+func spelledOut(xs []float64) float64 {
+	total := 0.0
+	for _, x := range xs {
+		total = total + x // want `loop-carried float reassignment of total`
+	}
+	return total
+}
+
+// product accumulates multiplicatively.
+func product(xs []float64) float64 {
+	p := 1.0
+	for _, x := range xs {
+		p *= x // want `float \*= accumulation in a loop`
+	}
+	return p
+}
+
+// counterInc drifts a float counter.
+func counterInc(n int) float64 {
+	c := 0.0
+	for i := 0; i < n; i++ {
+		c++ // want `float \+\+ in a loop`
+	}
+	return c
+}
+
+// intAccumulate inside the loop is fine — integers are exact.
+func intAccumulate(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// outsideLoop: one-shot float arithmetic is not accumulation.
+func outsideLoop(a, b float64) float64 {
+	s := a + b
+	s += 1 // not in a loop: fine
+	return s
+}
+
+// inlineArithCompare recomputes a ratio inside the comparison; the
+// rounding of the division leaks into control flow.
+func inlineArithCompare(num, den, eps float64) bool {
+	return num/den <= eps // want `float comparison over inline arithmetic`
+}
+
+// sumCompare compares a freshly built sum.
+func sumCompare(a, b, limit float64) bool {
+	return a+b < limit // want `float comparison over inline arithmetic`
+}
+
+// storedCompare computes once, stores, compares: sanctioned.
+func storedCompare(num, den, eps float64) bool {
+	score := num / den
+	return score <= eps
+}

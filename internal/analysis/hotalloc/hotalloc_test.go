@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/hotalloc"
+)
+
+func TestHotAlloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer, "testdata/src/a")
+}

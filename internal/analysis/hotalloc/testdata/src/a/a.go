@@ -1,0 +1,133 @@
+// Package a exercises the hotalloc analyzer: //fdlint:hotpath
+// functions and everything they call in-package must not allocate
+// transiently. Retained output, grow-once scratch stored to fields,
+// visitor literals passed straight down, and panic paths stay
+// sanctioned; per-call maps, transient appends, fmt, string concat,
+// interface boxing, and returned closures are flagged.
+package a
+
+import "fmt"
+
+type kernel struct {
+	scratch []int
+}
+
+// agreeWindow is the sanctioned kernel shape: the output slice escapes
+// via return, scratch grows once into a field, and the failure path
+// may format.
+//
+//fdlint:hotpath
+func (k *kernel) agreeWindow(words []uint64, n int) []uint64 {
+	if n < 0 {
+		panic(fmt.Sprintf("bad window %d", n))
+	}
+	out := make([]uint64, 0, n)
+	buf := k.scratch[:0]
+	for i, w := range words {
+		buf = append(buf, int(w))
+		out = append(out, w|uint64(i))
+	}
+	k.scratch = buf[:0]
+	return out
+}
+
+// agreeWindowAlloc is the deliberately allocating copy of the kernel:
+// a per-call map, a transient append, and fmt on the steady path.
+//
+//fdlint:hotpath
+func agreeWindowAlloc(words []uint64) int {
+	seen := make(map[uint64]bool) // want `make of transient map\[uint64\]bool on the //fdlint:hotpath steady state of agreeWindowAlloc`
+	var dup []int
+	count := 0
+	for i, w := range words {
+		if seen[w] {
+			dup = append(dup, i) // want `append to a transient slice on the //fdlint:hotpath steady state of agreeWindowAlloc`
+		}
+		seen[w] = true
+		count++
+	}
+	if len(dup) > 0 {
+		count++
+	}
+	fmt.Println(count) // want `fmt\.Println call on the //fdlint:hotpath steady state of agreeWindowAlloc`
+	return count
+}
+
+type row struct{ id int }
+
+func sink(v any) { _ = v }
+
+// describe is not marked, but scoreRows reaches it: its transient
+// constructs are reported at their own sites.
+func describe(names []string, r row) string {
+	label := ""
+	for _, n := range names {
+		label = label + n // want `string concatenation inside \S*a\.describe, reached from //fdlint:hotpath scoreRows`
+	}
+	sink(r)  // want `interface boxing of \S*a\.row inside \S*a\.describe, reached from //fdlint:hotpath scoreRows`
+	sink(&r) // a pointer in an interface is one word: no boxing
+	return label
+}
+
+//fdlint:hotpath
+func scoreRows(names []string, rows []row) int {
+	total := 0
+	for _, r := range rows {
+		if describe(names, r) != "" {
+			total++
+		}
+	}
+	return total
+}
+
+// weights indexes scalar elements out of the literal; the copies do not
+// keep it alive, so the literal is per-call garbage.
+//
+//fdlint:hotpath
+func weights(i int) int {
+	w := []int{1, 2, 3} // want `transient slice literal on the //fdlint:hotpath steady state of weights`
+	s := 0
+	s += w[i%3]
+	return s
+}
+
+// makeVisitor materializes a closure on the heap every call.
+func makeVisitor(k *kernel) func(int) {
+	return func(i int) { // want `returned closure inside \S*a\.makeVisitor, reached from //fdlint:hotpath drive`
+		k.scratch[0] = i
+	}
+}
+
+//fdlint:hotpath
+func drive(k *kernel) {
+	v := makeVisitor(k)
+	v(1)
+}
+
+// visitAll passes its literal straight to the iterator — the closure
+// never outlives the call frame.
+//
+//fdlint:hotpath
+func (k *kernel) visitAll(each func(func(int)), n int) {
+	each(func(i int) {
+		k.scratch[i] = n
+	})
+}
+
+// buildIndex and debugDump are off every hot path: they may allocate
+// and format freely.
+func buildIndex(rows []row) map[int]row {
+	m := make(map[int]row, len(rows))
+	for _, r := range rows {
+		m[r.id] = r
+	}
+	return m
+}
+
+func debugDump(rows []row) {
+	tmp := make([]int, 0, len(rows))
+	for _, r := range rows {
+		tmp = append(tmp, r.id)
+	}
+	fmt.Println(tmp)
+}

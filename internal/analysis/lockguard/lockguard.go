@@ -1,0 +1,388 @@
+// Package lockguard statically enforces mutex discipline in the gated
+// packages (see analysis.GatedPackage): struct fields annotated
+//
+//	// guarded by mu
+//
+// (where mu is a sync.Mutex/RWMutex field of the same struct) may only
+// be read or written on paths where that guard is provably held, and
+// functions annotated
+//
+//	//fdlint:mustlock mu
+//
+// assume the receiver's guard on entry and require every caller to hold
+// it at the call site. "Provably held" is decided by a forward
+// must-analysis over the dataflow package's CFG: a Lock() acquires the
+// fact, an Unlock() kills it, and a join keeps it only when every
+// incoming path holds it — so a conditional early unlock correctly
+// poisons everything after the merge. Deferred unlocks release at
+// return and leave the fact intact. Guard identity is the canonical
+// access path of the mutex expression ("c.mu", "s.cache.mu"), which
+// ties the annotation on a field to locks taken through any receiver or
+// chain reaching it.
+//
+// Function literals are checked with the must-state at their syntactic
+// position — the synchronous-callback assumption (ForEach, sort.Slice
+// bodies run under the caller's lock). A literal stored for later
+// invocation is therefore under-checked here; poolrace covers the
+// concurrent-callback case. Annotations and mustlock markers are
+// exported as facts, so a dependent package's pass sees the guard
+// contract of types it imports. This is locking invariant I7 in
+// DESIGN.md.
+package lockguard
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"eulerfd/internal/analysis"
+	"eulerfd/internal/analysis/dataflow"
+	"eulerfd/internal/analysis/facts"
+)
+
+const name = "lockguard"
+
+// Analyzer is the lockguard check.
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc:  "require annotated mutex guards to be held on every path reaching a guarded field",
+	Run:  run,
+}
+
+// typeFact maps guarded field names to the guard field name of one
+// struct type. Fact key: "type:<pkgpath>.<TypeName>".
+type typeFact struct {
+	Guards map[string]string `json:"guards"`
+}
+
+// fnFact records a //fdlint:mustlock marker. Fact key: "fn:<FuncID>".
+type fnFact struct {
+	Guard string `json:"guard"`
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+func run(pass *analysis.Pass) error {
+	collectFacts(pass)
+	if !analysis.GatedPackage(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkFunc(pass, d)
+				}
+			case *ast.GenDecl:
+				// Package-level function values (registry closures) have
+				// no enclosing CFG; check each literal from a cold start.
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, v := range vs.Values {
+						if lit, ok := v.(*ast.FuncLit); ok {
+							checkBody(pass, lit.Body, dataflow.MustState{})
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// collectFacts exports this package's guard annotations and mustlock
+// markers so both this pass and dependent packages' passes can see them.
+func collectFacts(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					collectStruct(pass, ts, st)
+				}
+			case *ast.FuncDecl:
+				guard := mustlockGuard(d)
+				if guard == "" {
+					continue
+				}
+				if id := facts.IDOfDecl(pass.TypesInfo, d); id != "" {
+					_ = pass.Facts.Set(name, "fn:"+string(id), fnFact{Guard: guard})
+				}
+			}
+		}
+	}
+}
+
+// collectStruct reads "guarded by <field>" annotations off one struct's
+// field comments. Annotations naming something that is not a sibling
+// field are reported — a silently ignored guard is worse than none.
+func collectStruct(pass *analysis.Pass, ts *ast.TypeSpec, st *ast.StructType) {
+	fieldNames := make(map[string]bool)
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			fieldNames[name.Name] = true
+		}
+	}
+	guards := make(map[string]string)
+	for _, field := range st.Fields.List {
+		guard := guardAnnotation(field)
+		if guard == "" {
+			continue
+		}
+		if !fieldNames[guard] {
+			pass.Reportf(field.Pos(), "guarded-by annotation names %q, which is not a field of %s (invariant I7)", guard, ts.Name.Name)
+			continue
+		}
+		for _, name := range field.Names {
+			guards[name.Name] = guard
+		}
+	}
+	if len(guards) == 0 {
+		return
+	}
+	key := fmt.Sprintf("type:%s.%s", pass.Pkg.Path(), ts.Name.Name)
+	_ = pass.Facts.Set(name, key, typeFact{Guards: guards})
+}
+
+// guardAnnotation extracts the guard name from a field's doc or line
+// comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// mustlockGuard extracts the guard name from a //fdlint:mustlock doc
+// line.
+func mustlockGuard(d *ast.FuncDecl) string {
+	if d.Doc == nil {
+		return ""
+	}
+	for _, c := range d.Doc.List {
+		if rest, ok := strings.CutPrefix(c.Text, "//fdlint:mustlock"); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// checkFunc analyzes one declared function. A mustlock function starts
+// with its receiver's guard held — that is the contract its callers are
+// checked against.
+func checkFunc(pass *analysis.Pass, d *ast.FuncDecl) {
+	entry := dataflow.MustState{}
+	if guard := mustlockGuard(d); guard != "" && d.Recv != nil && len(d.Recv.List) > 0 && len(d.Recv.List[0].Names) > 0 {
+		entry[d.Recv.List[0].Names[0].Name+"."+guard] = true
+	}
+	checkBody(pass, d.Body, entry)
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt, entry dataflow.MustState) {
+	g := dataflow.NewGraph(body)
+	in := g.ForwardMust(entry, func(n ast.Node, state dataflow.MustState) {
+		transfer(pass.TypesInfo, n, state)
+	})
+	for _, b := range g.Blocks {
+		st, ok := in[b]
+		if !ok {
+			continue // unreachable; nothing to prove
+		}
+		st = cloneState(st)
+		for _, n := range b.Nodes {
+			checkNode(pass, n, st)
+			transfer(pass.TypesInfo, n, st)
+		}
+	}
+}
+
+func cloneState(st dataflow.MustState) dataflow.MustState {
+	c := make(dataflow.MustState, len(st))
+	for k, v := range st {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+// transfer updates the held-guards state for one CFG node: a statement-
+// level mu.Lock() acquires, mu.Unlock() releases, defer mu.Unlock()
+// releases at return and changes nothing here. Locks taken inside
+// nested function literals do not leak into the enclosing state.
+func transfer(info *types.Info, n ast.Node, state dataflow.MustState) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, acquire, ok := lockOp(info, call)
+	if !ok {
+		return
+	}
+	if acquire {
+		state[key] = true
+	} else {
+		delete(state, key)
+	}
+}
+
+// lockOp matches <path>.Lock/RLock (acquire) and <path>.Unlock/RUnlock
+// (release) on a sync.Mutex or sync.RWMutex, returning the canonical
+// path of the mutex expression.
+func lockOp(info *types.Info, call *ast.CallExpr) (key string, acquire, ok bool) {
+	recv, recvType, name, isMethod := analysis.MethodCall(info, call)
+	if !isMethod {
+		return "", false, false
+	}
+	if !analysis.IsNamed(recvType, "sync", "Mutex") && !analysis.IsNamed(recvType, "sync", "RWMutex") {
+		return "", false, false
+	}
+	key = canonPath(recv)
+	if key == "" {
+		return "", false, false
+	}
+	switch name {
+	case "Lock", "RLock":
+		return key, true, true
+	case "Unlock", "RUnlock":
+		return key, false, true
+	}
+	return "", false, false
+}
+
+// canonPath renders a selector chain rooted at an identifier as its
+// canonical dotted path ("c.mu", "s.cache.mu"); derefs are transparent.
+// Non-path expressions (calls, indexes) yield "".
+func canonPath(e ast.Expr) string {
+	switch e := analysis.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := canonPath(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return canonPath(e.X)
+	}
+	return ""
+}
+
+// checkNode verifies every guarded-field access and mustlock call in
+// one CFG node's subtree against the current held-guards state. The
+// subtree includes nested function literals, checked with the state at
+// their position (the synchronous-callback assumption).
+func checkNode(pass *analysis.Pass, n ast.Node, state dataflow.MustState) {
+	if _, ok := n.(*ast.RangeStmt); ok {
+		// The CFG stores the whole range statement as the loop-head node
+		// for its per-iteration bindings; its operand and body are
+		// checked through their own nodes.
+		return
+	}
+	ast.Inspect(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.SelectorExpr:
+			checkFieldAccess(pass, sub, state)
+		case *ast.CallExpr:
+			checkMustlockCall(pass, sub, state)
+		}
+		return true
+	})
+}
+
+// checkFieldAccess flags a read or write of an annotated field without
+// its guard held.
+func checkFieldAccess(pass *analysis.Pass, sel *ast.SelectorExpr, state dataflow.MustState) {
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	named := namedRecv(selection.Recv())
+	if named == nil || named.Obj().Pkg() == nil {
+		return
+	}
+	key := fmt.Sprintf("type:%s.%s", named.Obj().Pkg().Path(), named.Obj().Name())
+	var tf typeFact
+	if !pass.Facts.Get(name, key, &tf) {
+		return
+	}
+	guard, ok := tf.Guards[field.Name()]
+	if !ok {
+		return
+	}
+	base := canonPath(sel.X)
+	if base == "" {
+		pass.Reportf(sel.Sel.Pos(), "%s.%s is guarded by %s, but the access path is not a plain variable chain — hold the guard through a named receiver (invariant I7)", named.Obj().Name(), field.Name(), guard)
+		return
+	}
+	if !state[base+"."+guard] {
+		pass.Reportf(sel.Sel.Pos(), "%s.%s accessed without holding %s.%s (field is marked guarded by %s; invariant I7)", named.Obj().Name(), field.Name(), base, guard, guard)
+	}
+}
+
+// checkMustlockCall flags calls to //fdlint:mustlock functions made
+// without the receiver's guard held.
+func checkMustlockCall(pass *analysis.Pass, call *ast.CallExpr, state dataflow.MustState) {
+	fn := facts.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	id := facts.IDOf(fn)
+	if id == "" {
+		return
+	}
+	var ff fnFact
+	if !pass.Facts.Get(name, "fn:"+string(id), &ff) {
+		return
+	}
+	sel, ok := analysis.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	base := canonPath(sel.X)
+	if base == "" {
+		pass.Reportf(call.Pos(), "%s requires %s held (//fdlint:mustlock), but the receiver is not a plain variable chain (invariant I7)", fn.Name(), ff.Guard)
+		return
+	}
+	if !state[base+"."+ff.Guard] {
+		pass.Reportf(call.Pos(), "call to %s without holding %s.%s (function is marked //fdlint:mustlock %s; invariant I7)", fn.Name(), base, ff.Guard, ff.Guard)
+	}
+}
+
+// namedRecv strips pointers off a selection receiver type down to the
+// named struct type.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"eulerfd/internal/analysis/analysistest"
+	"eulerfd/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, lockguard.Analyzer, "testdata/src/a")
+}

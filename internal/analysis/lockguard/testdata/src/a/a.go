@@ -1,0 +1,145 @@
+// Package a exercises the lockguard analyzer: fields annotated
+// "guarded by mu" must be accessed with the guard held on every path;
+// //fdlint:mustlock functions assume the guard and bind their callers.
+package a
+
+import "sync"
+
+type store struct {
+	mu sync.Mutex
+
+	entries map[string]int // guarded by mu
+	// hits counts lookups, guarded by mu.
+	hits int
+
+	free int // unguarded; accessible anywhere
+}
+
+// get is the sanctioned shape: lock, defer unlock, touch state.
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.entries[k]
+}
+
+// bare reads guarded state with no lock anywhere.
+func (s *store) bare(k string) int {
+	return s.entries[k] // want `entries accessed without holding s\.mu`
+}
+
+// earlyUnlock releases on one path before the access; the join must
+// poison the fact.
+func (s *store) earlyUnlock(k string, cond bool) int {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+	v := s.entries[k] // want `entries accessed without holding s\.mu`
+	if !cond {
+		s.mu.Unlock()
+	}
+	return v
+}
+
+// bothPaths acquires on every path: sanctioned.
+func (s *store) bothPaths(k string, cond bool) int {
+	if cond {
+		s.mu.Lock()
+	} else {
+		s.mu.Lock()
+	}
+	v := s.entries[k]
+	s.mu.Unlock()
+	return v
+}
+
+// relockLoop releases and reacquires inside the loop; the back edge
+// carries the reacquired state, so the body read stays proven.
+func (s *store) relockLoop(keys []string) int {
+	total := 0
+	s.mu.Lock()
+	for _, k := range keys {
+		total += s.entries[k]
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+	return total
+}
+
+// leakyLoop unlocks at the bottom of the loop without reacquiring: the
+// second iteration reads unprotected.
+func (s *store) leakyLoop(keys []string) int {
+	total := 0
+	s.mu.Lock()
+	for _, k := range keys {
+		total += s.entries[k] // want `entries accessed without holding s\.mu`
+		s.mu.Unlock()
+	}
+	return total
+}
+
+//fdlint:mustlock mu
+func (s *store) evict() {
+	for k := range s.entries {
+		delete(s.entries, k)
+		return
+	}
+}
+
+// locksThenCalls holds the guard across the helper call: sanctioned.
+func (s *store) locksThenCalls() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.evict()
+}
+
+// callsUnlocked invokes the mustlock helper cold.
+func (s *store) callsUnlocked() {
+	s.evict() // want `call to evict without holding s\.mu`
+}
+
+// closureUnderLock runs a literal at a locked position — the
+// synchronous-callback assumption sanctions its guarded accesses.
+func (s *store) closureUnderLock(keys []string, each func(func(string))) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	each(func(k string) {
+		s.hits++
+	})
+}
+
+// closureOutsideLock: same literal, no lock at its position.
+func (s *store) closureOutsideLock(each func(func(string))) {
+	each(func(k string) {
+		s.hits++ // want `hits accessed without holding s\.mu`
+	})
+}
+
+// unguardedAccess never needs the lock.
+func (s *store) unguardedAccess() int {
+	return s.free
+}
+
+// badAnnotation names a guard that is not a field.
+type badAnnotation struct {
+	// guarded by lock
+	entries []int // want `guarded-by annotation names "lock", which is not a field`
+}
+
+// nested guards through a chain: the canonical path ties the lock
+// expression to the access expression.
+type outer struct {
+	st store
+}
+
+func (o *outer) chained(k string) int {
+	o.st.mu.Lock()
+	defer o.st.mu.Unlock()
+	return o.st.entries[k]
+}
+
+func (o *outer) chainedBare(k string) int {
+	return o.st.entries[k] // want `entries accessed without holding o\.st\.mu`
+}

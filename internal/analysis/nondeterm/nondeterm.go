@@ -11,6 +11,7 @@ package nondeterm
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 
@@ -29,6 +30,15 @@ func run(pass *analysis.Pass) error {
 		return nil
 	}
 	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						checkFuncVar(pass, vs)
+					}
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -42,6 +52,31 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkFuncVar flags exported package-level function-typed variables
+// whose signature returns a map: the indirection hides the same leak
+// checkResults catches on declared functions.
+func checkFuncVar(pass *analysis.Pass, vs *ast.ValueSpec) {
+	for _, name := range vs.Names {
+		if !name.IsExported() {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(name)
+		if obj == nil {
+			continue
+		}
+		sig, ok := obj.Type().Underlying().(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if _, isMap := sig.Results().At(i).Type().Underlying().(*types.Map); isMap {
+				pass.Reportf(name.Pos(), "exported function variable %s returns a map; map iteration order is randomized — return a sorted slice (invariant I4)", name.Name)
+				break
+			}
+		}
+	}
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

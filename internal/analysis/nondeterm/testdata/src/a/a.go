@@ -49,3 +49,15 @@ func Index() map[string]int { // want `returns a map`
 func sortedIndex() []string { return []string{"a"} }
 
 func work() {}
+
+// Grouping hides a map result behind an exported function variable:
+// the same leak as an exported function returning a map.
+var Grouping = func(xs []string) map[string]int { // want `returns a map`
+	return map[string]int{}
+}
+
+// grouping is unexported; private indirection is fine.
+var grouping = func() map[string]int { return nil }
+
+// Ranked is exported but returns a slice: deterministic shape.
+var Ranked = func() []string { return nil }

@@ -6,6 +6,10 @@
 // (the per-chunk discipline the sampler and covers use), or the write is
 // preceded by a mutex Lock inside the callback. Captured map writes are
 // always flagged — concurrent map writes fault even with distinct keys.
+//
+// Callbacks need not be literal arguments: a function literal bound to a
+// variable or struct field and later handed to Do is resolved through
+// the package's assignments and checked the same way.
 package poolrace
 
 import (
@@ -14,6 +18,7 @@ import (
 	"go/types"
 
 	"eulerfd/internal/analysis"
+	"eulerfd/internal/analysis/dataflow"
 )
 
 // Analyzer is the poolrace check.
@@ -26,6 +31,14 @@ var Analyzer = &analysis.Analyzer{
 const poolPath = "eulerfd/internal/pool"
 
 func run(pass *analysis.Pass) error {
+	bindings := closureBindings(pass)
+	checked := make(map[*ast.FuncLit]bool)
+	check := func(lit *ast.FuncLit) {
+		if !checked[lit] {
+			checked[lit] = true
+			checkCallback(pass, lit)
+		}
+	}
 	analysis.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -36,12 +49,65 @@ func run(pass *analysis.Pass) error {
 			return
 		}
 		for _, arg := range call.Args {
-			if lit, isLit := analysis.Unparen(arg).(*ast.FuncLit); isLit {
-				checkCallback(pass, lit)
+			switch arg := analysis.Unparen(arg).(type) {
+			case *ast.FuncLit:
+				check(arg)
+			case *ast.Ident:
+				for _, lit := range bindings[pass.TypesInfo.ObjectOf(arg)] {
+					check(lit)
+				}
+			case *ast.SelectorExpr:
+				for _, lit := range bindings[pass.TypesInfo.ObjectOf(arg.Sel)] {
+					check(lit)
+				}
 			}
 		}
 	})
 	return nil
+}
+
+// closureBindings maps every variable or struct field to the function
+// literals assigned to it anywhere in the package, so a closure that
+// reaches pool.Do through a name is checked like a literal argument.
+func closureBindings(pass *analysis.Pass) map[types.Object][]*ast.FuncLit {
+	bindings := make(map[types.Object][]*ast.FuncLit)
+	bind := func(obj types.Object, rhs ast.Expr) {
+		if obj == nil || rhs == nil {
+			return
+		}
+		if lit, ok := analysis.Unparen(rhs).(*ast.FuncLit); ok {
+			bindings[obj] = append(bindings[obj], lit)
+		}
+	}
+	for _, f := range pass.Files {
+		dataflow.VisitAssignments(pass.TypesInfo, f, bind)
+		// VisitAssignments resolves identifier targets; field stores
+		// (w.cb = func(...){...}) and composite literals need the field
+		// object from the selector or key.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					if sel, ok := analysis.Unparen(lhs).(*ast.SelectorExpr); ok {
+						bind(pass.TypesInfo.ObjectOf(sel.Sel), n.Rhs[i])
+					}
+				}
+			case *ast.CompositeLit:
+				for _, el := range n.Elts {
+					if kv, ok := el.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							bind(pass.TypesInfo.ObjectOf(key), kv.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return bindings
 }
 
 func checkCallback(pass *analysis.Pass, lit *ast.FuncLit) {

@@ -79,3 +79,56 @@ func perChunkField(p *pool.Pool, chunks []chunk) {
 		chunks[i].sum = i
 	})
 }
+
+// indirect binds the callback to a variable before handing it to Do;
+// the closure is resolved through the assignment and checked the same.
+func indirect(p *pool.Pool, n int) int {
+	total := 0
+	cb := func(i int) {
+		total += i // want `captured from the enclosing scope`
+	}
+	p.Do(n, cb)
+	return total
+}
+
+type worker struct {
+	cb func(int)
+}
+
+// fieldBound stores the callback in a struct field first: resolved
+// through the composite literal's key.
+func fieldBound(p *pool.Pool, n int) int {
+	total := 0
+	w := worker{cb: func(i int) {
+		total += i // want `captured from the enclosing scope`
+	}}
+	p.Do(n, w.cb)
+	return total
+}
+
+// fieldStored assigns the callback through a selector after the fact.
+func fieldStored(p *pool.Pool, m map[int]int) {
+	var w worker
+	w.cb = func(i int) {
+		m[i] = i // want `captured map`
+	}
+	p.Do(len(m), w.cb)
+}
+
+// indirectPerIndex keeps the per-index discipline through the
+// indirection: sanctioned.
+func indirectPerIndex(p *pool.Pool, n int) []int {
+	results := make([]int, n)
+	cb := func(i int) { results[i] = i }
+	p.Do(n, cb)
+	return results
+}
+
+// unbound is assigned a racy closure but never reaches a pool: the
+// write is the enclosing function's own business.
+func unbound(n int) int {
+	total := 0
+	cb := func(i int) { total += i }
+	cb(n)
+	return total
+}

@@ -6,6 +6,9 @@ import (
 	"go/token"
 	"io"
 	"os"
+	"sort"
+
+	"eulerfd/internal/analysis/facts"
 )
 
 // VetConfig is the per-package configuration file the go command hands a
@@ -68,17 +71,43 @@ func vetExports(cfg *VetConfig) map[string]string {
 	return exports
 }
 
-// WriteVetx writes the (empty) facts output the go command requires a
-// vettool to produce for each package. fdlint's analyzers are fact-free.
-func (cfg *VetConfig) WriteVetx() error {
+// ImportFacts merges the vetx facts files of this package's
+// dependencies into store. Facts-free dependencies (the entire standard
+// library, under this tool) write empty vetx files, which merge as
+// no-ops; files written by an fdlint with a different facts schema are
+// an error, surfaced so the build cache entry is refreshed rather than
+// misread.
+func (cfg *VetConfig) ImportFacts(store *facts.Store) error {
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := store.ImportFile(cfg.PackageVetx[p]); err != nil {
+			return fmt.Errorf("facts of %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// WriteVetx writes the facts output the go command requires a vettool to
+// produce for each package: the store's contents, which at this point
+// hold the merged facts of this package and everything beneath it, so a
+// dependent's run sees the transitive closure through its direct
+// imports alone. A nil store writes an empty (facts-free) file.
+func (cfg *VetConfig) WriteVetx(store *facts.Store) error {
 	if cfg.VetxOutput == "" {
 		return nil
 	}
-	f, err := os.Create(cfg.VetxOutput)
-	if err != nil {
-		return err
+	if store == nil {
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			return err
+		}
+		return f.Close()
 	}
-	return f.Close()
+	return store.ExportFile(cfg.VetxOutput)
 }
 
 // PrintPlain writes diagnostics in the file:line:col form the go command

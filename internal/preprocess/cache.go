@@ -29,8 +29,8 @@ type PartitionCache struct {
 	max int
 
 	mu      sync.Mutex
-	entries map[fdset.AttrSet]*list.Element
-	order   *list.List // front = most recent
+	entries map[fdset.AttrSet]*list.Element // guarded by mu
+	order   *list.List                      // front = most recent, guarded by mu
 	// scratch is the join state every refinement under this cache
 	// reuses; it is guarded by mu like everything else the refinement
 	// work touches, so the probe table and group buffers are grown once
@@ -90,6 +90,8 @@ func (c *PartitionCache) Get(x fdset.AttrSet) StrippedPartition {
 
 // deriveFromNeighbor tries to build π_x with one refinement of a cached
 // partition of x minus one attribute. Callers must hold c.mu.
+//
+//fdlint:mustlock mu
 func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition, bool) {
 	var derived StrippedPartition
 	found := false
@@ -116,6 +118,8 @@ func (c *PartitionCache) deriveFromNeighbor(x fdset.AttrSet) (StrippedPartition,
 
 // put inserts an entry and evicts from the LRU tail. Callers must hold
 // c.mu.
+//
+//fdlint:mustlock mu
 func (c *PartitionCache) put(x fdset.AttrSet, part StrippedPartition) {
 	c.entries[x] = c.order.PushFront(&cacheEntry{key: x, part: part})
 	for len(c.entries) > c.max {
@@ -130,6 +134,16 @@ func (c *PartitionCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats returns the hit, miss, and neighbor-derivation counters under
+// the cache lock. The counters still race with in-flight Gets in the
+// sense that the snapshot is instantly stale; what the lock buys is a
+// consistent triple.
+func (c *PartitionCache) Stats() (hits, misses, derived int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Hits, c.Misses, c.Derived
 }
 
 // ConstantOn reports whether every cluster of part is constant on

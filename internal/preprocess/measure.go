@@ -68,6 +68,8 @@ func (sc *MeasureScratch) ensure(numLabels int) {
 // independent of summation order (determinism invariant I1 extends to
 // float low bits: AFD scores are exact-match gated in the regression
 // harness).
+//
+//fdlint:hotpath
 func (e *Encoded) CountViolationsWith(part StrippedPartition, a int, sc *MeasureScratch) MeasureCounts {
 	sc.ensure(e.NumLabels[a])
 	var mc MeasureCounts

@@ -176,6 +176,8 @@ func agreeWord(ri, rj []int32) uint64 {
 // row-major Labels scan hot in cache. Used by full pairwise induction
 // (Fdep) and anywhere one row is compared against many. It performs no
 // allocation.
+//
+//fdlint:hotpath
 func (e *Encoded) AgreeSetsInto(base int, others []int32, out []fdset.AttrSet) {
 	rb := e.Labels[base]
 	if len(rb) <= 64 {
@@ -197,6 +199,8 @@ func (e *Encoded) AgreeSetsInto(base int, others []int32, out []fdset.AttrSet) {
 // and lets the caller deduplicate on machine words; materialize retained
 // masks with fdset.FromWord. words must have length ≥ to−from. It
 // performs no allocation.
+//
+//fdlint:hotpath
 func (e *Encoded) AgreeWindowWords(rows []int32, window, from, to int, words []uint64) {
 	for p := from; p < to; p++ {
 		words[p-from] = agreeWord(e.Labels[rows[p]], e.Labels[rows[p+window-1]])
@@ -211,6 +215,8 @@ func (e *Encoded) AgreeWindowWords(rows []int32, window, from, to int, words []u
 // scan and feed capa accounting (newNonFDs = ncols − |agree|) without a
 // separate popcount pass. out and counts must have length ≥ to−from. It
 // performs no allocation.
+//
+//fdlint:hotpath
 func (e *Encoded) AgreeWindowInto(rows []int32, window, from, to int, out []fdset.AttrSet, counts []int32) {
 	ncols := len(e.Attrs)
 	if ncols <= 64 {
@@ -442,6 +448,8 @@ func joinClusters[G grouper](sc *JoinScratch, p StrippedPartition, gr G) Strippe
 // specialised to a single-attribute refiner — reusing sc for all
 // transient state. Labels of a are dense in [0, NumLabels[a]), so the
 // join indexes them directly: no hashing, no per-cluster map.
+//
+//fdlint:hotpath
 func (e *Encoded) RefineWith(p StrippedPartition, a int, sc *JoinScratch) StrippedPartition {
 	sc.ensureSlots(e.NumLabels[a])
 	return joinClusters(sc, p, labelGrouper{labels: e.Labels, a: a})
@@ -460,6 +468,8 @@ func (e *Encoded) Refine(p StrippedPartition, a int) StrippedPartition {
 // against it, and the probe entries are sparsely reset afterwards. All
 // transient state lives in sc and is grown once; steady-state products
 // allocate only their retained output.
+//
+//fdlint:hotpath
 func ProductWith(p, q StrippedPartition, numRows int, sc *JoinScratch) StrippedPartition {
 	sc.ensureProbe(numRows)
 	sc.ensureSlots(len(q.Clusters))
@@ -492,6 +502,8 @@ func (e *Encoded) PartitionOf(x fdset.AttrSet) StrippedPartition {
 }
 
 // PartitionOfWith is PartitionOf reusing a caller-owned join scratch.
+//
+//fdlint:hotpath
 func (e *Encoded) PartitionOfWith(x fdset.AttrSet, sc *JoinScratch) StrippedPartition {
 	attrs := x.Attrs()
 	if len(attrs) == 0 {

@@ -83,10 +83,10 @@ type Server struct {
 	wg    sync.WaitGroup
 
 	mu       sync.Mutex
-	draining bool
-	sessions map[string]*session
-	nextSess int
-	nextJob  int
+	draining bool                // guarded by mu
+	sessions map[string]*session // guarded by mu
+	nextSess int                 // guarded by mu
+	nextJob  int                 // guarded by mu
 }
 
 // New builds a Server with cfg (zero fields take defaults).
@@ -228,7 +228,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
-	jobID, status, msg := s.startJob(sess, rel.Rows)
+	jobID, status, msg := s.startJob(r.Context(), sess, rel.Rows)
 	if status != 0 {
 		// The freshly created session cannot have a job in flight; only
 		// a drain begun between the two locks can land here.
@@ -260,7 +260,7 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch has %d columns, session has %d", len(rel.Attrs), ncols))
 		return
 	}
-	jobID, status, msg := s.startJob(sess, rel.Rows)
+	jobID, status, msg := s.startJob(r.Context(), sess, rel.Rows)
 	if status != 0 {
 		writeError(w, status, msg)
 		return
@@ -269,8 +269,12 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 }
 
 // startJob enqueues one discovery run on sess. It returns the job id on
-// success, or a non-zero HTTP status and message on refusal.
-func (s *Server) startJob(sess *session, rows [][]string) (string, int, string) {
+// success, or a non-zero HTTP status and message on refusal. The job
+// must outlive the submitting request (the handler answers 202 before
+// the run finishes), so the request context is detached from
+// cancellation, not replaced: values ride along, and the job's own
+// timeout or the session DELETE cancel it (I5).
+func (s *Server) startJob(ctx context.Context, sess *session, rows [][]string) (string, int, string) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -292,7 +296,7 @@ func (s *Server) startJob(sess *session, rows [][]string) (string, int, string) 
 		sess.mu.Unlock()
 		return "", http.StatusConflict, "session has failed; delete it and resubmit"
 	}
-	ctx := context.Background()
+	ctx = context.WithoutCancel(ctx)
 	var cancel context.CancelFunc
 	if s.cfg.JobTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)

@@ -48,16 +48,16 @@ type session struct {
 	mu      sync.Mutex
 	name    string
 	attrs   []string
-	state   string
+	state   string // guarded by mu
 	inc     *core.Incremental
-	fds     *fdset.Set // last completed result
-	stats   core.Stats // stats of the last completed job
-	rows    int        // rows absorbed by completed jobs
-	appends int
-	current *job               // most recent job
-	cancel  context.CancelFunc // cancels the running job
-	history []event
-	subs    []chan event // live SSE subscribers, in subscription order
+	fds     *fdset.Set         // last completed result, guarded by mu
+	stats   core.Stats         // stats of the last completed job, guarded by mu
+	rows    int                // rows absorbed by completed jobs, guarded by mu
+	appends int                // guarded by mu
+	current *job               // most recent job, guarded by mu
+	cancel  context.CancelFunc // cancels the running job, guarded by mu
+	history []event            // guarded by mu
+	subs    []chan event       // live SSE subscribers, in order, guarded by mu
 
 	// scorer serves /afds queries over the last completed result. Built
 	// lazily from an Incremental snapshot and shared by concurrent
