@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels regress regress-record serve-smoke
+.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels bench-ensemble regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -55,6 +55,10 @@ bench-afd:
 # Regenerates the committed hot-path kernel micro-benchmark.
 bench-kernels:
 	$(GO) run ./cmd/fdbench -kernels-json BENCH_kernels.json
+
+# Regenerates the committed ensemble confidence-voting benchmark.
+bench-ensemble:
+	$(GO) run ./cmd/fdbench -ensemble-json BENCH_ensemble.json
 
 # Regression gate: runs the canonical suite and diffs against the
 # committed BASELINE.json. Accuracy is exact-match gated; wall times are

@@ -12,6 +12,7 @@
 //	fdbench -exp afd                        # approximate-FD scoring bench
 //	fdbench -afd-json BENCH_afd.json        # same, plus machine-readable report
 //	fdbench -kernels-json BENCH_kernels.json  # hot-path kernel micro-bench
+//	fdbench -ensemble-json BENCH_ensemble.json  # confidence-voting bench
 //	fdbench -exp sampling -cpuprofile cpu.out -memprofile mem.out
 //	                                        # profile any run with go tool pprof
 package main
@@ -41,7 +42,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jsonPath := fs.String("json", "", "run the sampling benchmark and write its report to this JSON file")
 	afdJSONPath := fs.String("afd-json", "", "run the AFD scoring benchmark and write its report to this JSON file")
 	kernelsJSONPath := fs.String("kernels-json", "", "run the kernel micro-benchmark and write its report to this JSON file")
-	runs := fs.Int("runs", 0, "AFD benchmark repetitions per cell (0 = default)")
+	ensembleJSONPath := fs.String("ensemble-json", "", "run the ensemble voting benchmark and write its report to this JSON file")
+	seed := fs.Uint64("seed", 0, "base seed of the ensemble benchmark")
+	runs := fs.Int("runs", 0, "AFD/ensemble benchmark repetitions per cell (0 = default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile at exit to this file")
 	if err := fs.Parse(args); err != nil {
@@ -54,7 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" && *kernelsJSONPath == "" {
+	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" && *kernelsJSONPath == "" && *ensembleJSONPath == "" {
 		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
 		return 2
 	}
@@ -100,6 +103,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exit(1)
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *kernelsJSONPath)
+	}
+	if *ensembleJSONPath != "" {
+		if err := bench.RunEnsembleToFile(stdout, *workers, *seed, *runs, *ensembleJSONPath); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return exit(1)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *ensembleJSONPath)
 	}
 	if *exp == "" {
 		return exit(0)

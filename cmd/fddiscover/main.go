@@ -19,6 +19,11 @@
 //	-measure g3|g1|pdep|tau            error measure (default g3)
 //	-eps 0.05                          threshold mode: keep FDs with error <= eps
 //	-topk 10                           top-k mode: the k best-scoring candidates
+//
+// Ensemble mode (-ensemble N selects it):
+//
+//	-ensemble 5                        vote N seeded EulerFD runs, report confidences
+//	-seed 42                           base seed (also perturbs a single euler run)
 package main
 
 import (
@@ -34,6 +39,7 @@ import (
 	"eulerfd"
 	"eulerfd/internal/algo"
 	"eulerfd/internal/dataset"
+	"eulerfd/internal/ensemble"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/metrics"
 )
@@ -82,6 +88,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	measure := fs.String("measure", "", "approximate mode: error measure (g3, g1, pdep, tau)")
 	eps := fs.Float64("eps", 0.05, "approximate threshold mode: error budget in [0, 1]")
 	topk := fs.Int("topk", 0, "approximate top-k mode: number of best-scoring FDs (0 = threshold mode)")
+	ensembleN := fs.Int("ensemble", 0, "ensemble mode: vote this many seeded EulerFD runs (0 = single run)")
+	seed := fs.Uint64("seed", 0, "EulerFD sampling-schedule seed (0 = canonical schedule); ensemble members derive from it")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -112,8 +120,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
+	if approx && *ensembleN > 0 {
+		fmt.Fprintln(stderr, "fddiscover: -ensemble cannot be combined with approximate-mode flags")
+		return 2
+	}
 	if approx {
 		return runApprox(rel, *measure, *eps, *topk, *asJSON, *stats, stdout, stderr)
+	}
+	if *ensembleN > 0 {
+		eopt := eulerfd.DefaultOptions()
+		eopt.ThNcover, eopt.ThPcover = *th, *th
+		eopt.NumQueues = *queues
+		eopt.ExhaustWindows = *exhaustive
+		eopt.Workers = *workers
+		eopt.Ensemble = *ensembleN
+		eopt.Seed = *seed
+		return runEnsemble(rel, eopt, *asJSON, *stats, stdout, stderr)
 	}
 
 	id := algo.ID(*algoFlag)
@@ -126,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tun.Euler.NumQueues = *queues
 	tun.Euler.ExhaustWindows = *exhaustive
 	tun.Euler.Workers = *workers
+	tun.Euler.Seed = *seed
 	tun.AIDFD.ThNcover = *th
 
 	start := time.Now()
@@ -184,6 +207,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r := metrics.Evaluate(fds, truth)
 		fmt.Fprintf(stderr, "accuracy vs exact (%d FDs): precision=%.4f recall=%.4f F1=%.4f\n",
 			truth.Len(), r.Precision, r.Recall, r.F1)
+	}
+	return 0
+}
+
+// ensembleDoc is the -json output shape of one voted candidate.
+type ensembleDoc struct {
+	LHS        []string `json:"lhs"`
+	RHS        string   `json:"rhs"`
+	Confidence float64  `json:"confidence"`
+	Votes      int      `json:"votes"`
+	G3         float64  `json:"g3"`
+	Suspect    bool     `json:"suspect"`
+}
+
+// runEnsemble handles -ensemble N: vote N seeded runs and print every
+// candidate with its confidence, strongest first, flagging candidates
+// the exact g3 cross-check refutes.
+func runEnsemble(rel *dataset.Relation, opt eulerfd.Options, asJSON, stats bool, stdout, stderr io.Writer) int {
+	start := time.Now()
+	res, err := eulerfd.DiscoverEnsemble(rel, opt)
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	byConf := append([]eulerfd.EnsembleFD(nil), res.FDs...)
+	ensemble.SortByConfidence(byConf)
+
+	if asJSON {
+		docs := make([]ensembleDoc, 0, len(byConf))
+		for _, f := range byConf {
+			d := ensembleDoc{RHS: attrName(rel.Attrs, f.FD.RHS), LHS: []string{},
+				Confidence: f.Confidence, Votes: f.Votes, G3: f.G3, Suspect: f.Suspect}
+			for _, a := range f.FD.LHS.Attrs() {
+				d.LHS = append(d.LHS, attrName(rel.Attrs, a))
+			}
+			docs = append(docs, d)
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(docs); err != nil {
+			fmt.Fprintln(stderr, "fddiscover:", err)
+			return 1
+		}
+	} else {
+		for _, f := range byConf {
+			line := fmt.Sprintf("%s  conf=%.4f votes=%d/%d", f.FD.Format(rel.Attrs), f.Confidence, f.Votes, res.Members)
+			if f.Suspect {
+				line += fmt.Sprintf("  SUSPECT g3=%.6f", f.G3)
+			}
+			fmt.Fprintln(stdout, line)
+		}
+	}
+	if stats {
+		fmt.Fprintf(stderr, "euler-ensemble: %d rows × %d cols, %d candidates (majority %d, suspects %d) in %s (members=%d seed=%d)\n",
+			rel.NumRows(), rel.NumCols(), res.Stats.Candidates, res.Stats.MajoritySize, res.Stats.Suspects,
+			elapsed.Round(time.Microsecond), res.Members, res.Seed)
 	}
 	return 0
 }

@@ -196,3 +196,65 @@ func TestRunWorkersFlag(t *testing.T) {
 		t.Errorf("output: %s", out.String())
 	}
 }
+
+func TestRunEnsembleMode(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	code := run([]string{"-ensemble", "3", "-seed", "7", "-stats", path}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "conf=") || !strings.Contains(out.String(), "votes=") {
+		t.Errorf("ensemble output missing confidence annotations:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "euler-ensemble:") || !strings.Contains(errw.String(), "seed=7") {
+		t.Errorf("-stats line missing: %s", errw.String())
+	}
+
+	// Same invocation twice: byte-identical output (the determinism contract).
+	var out2, errw2 bytes.Buffer
+	if code := run([]string{"-ensemble", "3", "-seed", "7", path}, &out2, &errw2); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw2.String())
+	}
+	var out3 bytes.Buffer
+	if code := run([]string{"-ensemble", "3", "-seed", "7", path}, &out3, &errw2); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw2.String())
+	}
+	if out2.String() != out3.String() {
+		t.Errorf("ensemble output not repeatable:\n%s\nvs\n%s", out2.String(), out3.String())
+	}
+}
+
+func TestRunEnsembleJSON(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-ensemble", "2", "-json", path}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d: %s", code, errw.String())
+	}
+	var docs []struct {
+		LHS        []string `json:"lhs"`
+		RHS        string   `json:"rhs"`
+		Confidence float64  `json:"confidence"`
+		Votes      int      `json:"votes"`
+		Suspect    bool     `json:"suspect"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &docs); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(docs) == 0 {
+		t.Fatal("no candidates in JSON output")
+	}
+	for _, d := range docs {
+		if d.Confidence <= 0 || d.Confidence > 1 || d.Votes < 1 || d.Votes > 2 {
+			t.Errorf("implausible candidate: %+v", d)
+		}
+	}
+}
+
+func TestRunEnsembleRejectsApproxMix(t *testing.T) {
+	path := writeCSV(t, simpleCSV)
+	var out, errw bytes.Buffer
+	if code := run([]string{"-ensemble", "2", "-topk", "3", path}, &out, &errw); code != 2 {
+		t.Fatalf("mixing -ensemble with -topk: exit %d, want 2", code)
+	}
+}

@@ -22,7 +22,9 @@
 //	DELETE /sessions/{id}           remove a session
 //	POST   /sessions/{id}/append    fold in a CSV row batch
 //	POST   /sessions/{id}/cancel    cancel the job in flight
-//	GET    /sessions/{id}/fds       last completed FD set
+//	GET    /sessions/{id}/fds       last completed FD set; ?ensemble=N
+//	                                [&seed=S] votes N seeded re-runs and
+//	                                returns confidence-scored candidates
 //	GET    /sessions/{id}/stats     last completed run statistics
 //	GET    /sessions/{id}/progress  latest per-cycle snapshot (poll)
 //	GET    /sessions/{id}/events    per-cycle snapshots (SSE stream)

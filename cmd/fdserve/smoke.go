@@ -103,6 +103,16 @@ func runSmoke(cfg serve.Config, stdout io.Writer) error {
 	if afds.Mode != "threshold" || afds.Count == 0 {
 		return fmt.Errorf("query afds: mode %q, count %d", afds.Mode, afds.Count)
 	}
+	var ens struct {
+		Members int `json:"members"`
+		Count   int `json:"count"`
+	}
+	if err := step("query ensemble", smokeGet(base+"/v1/sessions/"+ack.Session+"/fds?ensemble=3&seed=1", &ens)); err != nil {
+		return err
+	}
+	if ens.Members != 3 || ens.Count == 0 {
+		return fmt.Errorf("query ensemble: members %d, count %d", ens.Members, ens.Count)
+	}
 
 	// Append a batch and wait for re-discovery.
 	var ack2 struct{ Session, Job string }

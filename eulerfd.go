@@ -37,6 +37,7 @@ import (
 	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
+	"eulerfd/internal/ensemble"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/infer"
 	"eulerfd/internal/metrics"
@@ -103,7 +104,9 @@ func ParseMeasure(s string) (Measure, error) { return afd.ParseMeasure(s) }
 
 // Registered algorithm IDs, usable with DiscoverWith and ExactContext.
 const (
-	AlgoEuler    = algo.Euler
+	AlgoEuler         = algo.Euler
+	AlgoEulerEnsemble = algo.EulerEnsemble
+
 	AlgoHyFD     = algo.HyFD
 	AlgoTANE     = algo.TANE
 	AlgoFun      = algo.Fun
@@ -338,6 +341,50 @@ func DiscoverApproxContext(ctx context.Context, rel *Relation, measure Measure, 
 		return ApproxResult{}, err
 	}
 	return ApproxResult{Algo: AlgoAFDg3, Measure: aopt.Measure, FDs: fds, Stats: stats}, nil
+}
+
+// Ensemble re-exports. EulerFD is a randomized approximation once
+// Options.Seed varies; an ensemble runs N seeded schedules and votes, so
+// each reported FD carries a confidence instead of arriving in a flat set.
+type (
+	// EnsembleResult is a completed ensemble run: every voted candidate
+	// in canonical order, plus run statistics. Majority() extracts the
+	// strict-majority FD set.
+	EnsembleResult = ensemble.Result
+	// EnsembleFD is one voted candidate: an FD with the fraction of
+	// member runs agreeing (Confidence, higher is better — unlike
+	// ScoredFD's error score) and its exact g3 cross-check.
+	EnsembleFD = ensemble.ScoredFD
+	// EnsembleStats describes the work performed by an ensemble run.
+	EnsembleStats = ensemble.Stats
+	// EnsembleObserver receives (completed, total) member-run progress.
+	EnsembleObserver = ensemble.Observer
+)
+
+// DiscoverEnsemble runs Options.Ensemble seeded EulerFD members
+// concurrently (seeds derive from Options.Seed; member 0 runs the base
+// seed itself, so Ensemble = 1 is exactly the plain seeded run) and
+// votes: each candidate FD's confidence is the fraction of members whose
+// minimal cover implies it, cross-checked against the exact g3 error on
+// the full relation — a candidate with g3 > 0 provably does not hold and
+// is flagged Suspect. Ensemble ≤ 1 runs a single member. The result is
+// deterministic for any Options.Workers value.
+func DiscoverEnsemble(rel *Relation, opt Options) (*EnsembleResult, error) {
+	return DiscoverEnsembleContext(context.Background(), rel, opt, nil)
+}
+
+// DiscoverEnsembleContext is DiscoverEnsemble under a context with an
+// optional progress observer (called after each member run completes;
+// may be nil). Cancellation is cooperative at members' cycle boundaries;
+// a cancelled ensemble returns ctx.Err() and no partial votes.
+func DiscoverEnsembleContext(ctx context.Context, rel *Relation, opt Options, obs EnsembleObserver) (*EnsembleResult, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	return ensemble.Discover(ctx, preprocess.Encode(rel), ensemble.Config{Euler: opt, CrossCheck: true}, obs)
 }
 
 // ApproxAIDFD runs the AID-FD baseline with its default threshold.

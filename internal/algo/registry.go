@@ -18,6 +18,7 @@ import (
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/depminer"
 	"eulerfd/internal/dfd"
+	"eulerfd/internal/ensemble"
 	"eulerfd/internal/fastfds"
 	"eulerfd/internal/fdep"
 	"eulerfd/internal/fdset"
@@ -35,7 +36,11 @@ type ID string
 // Registered algorithm IDs.
 const (
 	Euler    ID = "euler"
-	HyFD     ID = "hyfd"
+	// EulerEnsemble votes N seeded EulerFD runs (internal/ensemble) and
+	// reports the strict-majority FD set; Tuning.Euler.Ensemble sets N
+	// (default 5) and Tuning.Euler.Seed the base seed.
+	EulerEnsemble ID = "euler-ensemble"
+	HyFD          ID = "hyfd"
 	TANE     ID = "tane"
 	Fun      ID = "fun"
 	Dfd      ID = "dfd"
@@ -100,6 +105,22 @@ var registry = []entry{
 				return nil, "", err
 			}
 			return fds, st.String(), nil
+		},
+	},
+	{
+		info: Info{ID: EulerEnsemble, Name: "EulerFD ensemble", Exact: false,
+			Summary: "majority vote over seeded EulerFD schedules with g3 cross-check"},
+		run: func(ctx context.Context, enc *preprocess.Encoded, t Tuning) (*fdset.Set, string, error) {
+			opt := t.Euler
+			if opt.Ensemble < 1 {
+				opt.Ensemble = 5
+			}
+			res, err := ensemble.Discover(ctx, enc, ensemble.Config{Euler: opt, CrossCheck: true}, nil)
+			if err != nil {
+				return nil, "", err
+			}
+			return res.Majority(), fmt.Sprintf("members=%d seed=%d candidates=%d majority=%d suspects=%d",
+				res.Members, res.Seed, res.Stats.Candidates, res.Stats.MajoritySize, res.Stats.Suspects), nil
 		},
 	},
 	{

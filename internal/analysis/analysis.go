@@ -264,6 +264,7 @@ func GatedPackage(pkgPath string) bool {
 		"eulerfd/internal/algo",
 		"eulerfd/internal/core",
 		"eulerfd/internal/cover",
+		"eulerfd/internal/ensemble",
 		"eulerfd/internal/preprocess",
 		"eulerfd/internal/fdset",
 		"eulerfd/internal/pool",
@@ -287,6 +288,7 @@ func CtxGatedPackage(pkgPath string) bool {
 	switch pkgPath {
 	case "eulerfd",
 		"eulerfd/internal/core",
+		"eulerfd/internal/ensemble",
 		"eulerfd/internal/serve",
 		"eulerfd/internal/algo",
 		"eulerfd/internal/tane",

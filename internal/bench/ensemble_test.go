@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunEnsembleSmoke(t *testing.T) {
+	savedD, savedN := EnsembleDatasets, EnsembleSizes
+	EnsembleDatasets = []string{"iris"}
+	EnsembleSizes = []int{1, 3}
+	defer func() { EnsembleDatasets, EnsembleSizes = savedD, savedN }()
+
+	var buf bytes.Buffer
+	rep := RunEnsemble(&buf, 1, 0, 2)
+	if len(rep.Cells) != 2 {
+		t.Fatalf("want 2 cells (one per size), got %d", len(rep.Cells))
+	}
+	for i, c := range rep.Cells {
+		if c.Dataset != "iris" || c.Runs != 2 {
+			t.Errorf("cell header = %+v", c)
+		}
+		if c.Members != EnsembleSizes[i] {
+			t.Errorf("cell %d: members = %d, want %d", i, c.Members, EnsembleSizes[i])
+		}
+		if c.Majority > c.Candidates {
+			t.Errorf("majority %d exceeds candidates %d", c.Majority, c.Candidates)
+		}
+		// iris is trivially discoverable: every member finds the exact
+		// cover, so the majority scores perfectly against TANE.
+		if c.Precision != 1 || c.Recall != 1 {
+			t.Errorf("members=%d: precision %v recall %v, want 1/1 on iris", c.Members, c.Precision, c.Recall)
+		}
+		if c.MinMS > c.MedianMS || c.MedianMS > c.MaxMS {
+			t.Errorf("times not ordered: %+v", c)
+		}
+	}
+	if !strings.Contains(buf.String(), "iris") {
+		t.Error("table output missing dataset row")
+	}
+
+	var out bytes.Buffer
+	if err := WriteEnsembleJSON(&out, rep); err != nil {
+		t.Fatal(err)
+	}
+	var decoded EnsembleReport
+	if err := json.Unmarshal(out.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if decoded.Schema != 1 || len(decoded.Cells) != len(rep.Cells) {
+		t.Error("JSON round trip lost fields")
+	}
+}

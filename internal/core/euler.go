@@ -66,6 +66,19 @@ type Options struct {
 	// under Epsilon. Legal range: ≥ 0, with 0 meaning threshold mode.
 	// Exact discovery ignores it.
 	TopK int
+	// Seed selects one sampling schedule out of a deterministic family: a
+	// nonzero seed applies a splitmix64-derived permutation of the initial
+	// cluster order and a per-cluster rotation of the window-size cycle
+	// (see seed.go), so different seeds gather evidence in different
+	// orders while each run stays exactly reproducible for any Workers
+	// value. Seed = 0 (the default) keeps the canonical schedule, byte-
+	// identical to the unseeded engine. Any value is legal.
+	Seed uint64
+	// Ensemble is the member count of ensemble discovery (the repo root's
+	// DiscoverEnsemble): N seeded runs vote per candidate FD and report
+	// confidence as the agreeing fraction. Legal range: ≥ 0, with 0
+	// meaning single-run discovery. Single-run entry points ignore it.
+	Ensemble int
 	// DynamicCapaRanges enables runtime revision of the MLFQ capa ranges
 	// — the extension the paper's conclusion proposes as future work.
 	// Between sampling generations the queue thresholds are re-anchored
@@ -231,6 +244,7 @@ func DiscoverEncodedContext(ctx context.Context, enc *preprocess.Encoded, opt Op
 	sampler.exhaustive = opt.ExhaustWindows
 	sampler.dynamicRanges = opt.DynamicCapaRanges
 	sampler.SetPool(pl)
+	sampler.SetSeed(opt.Seed)
 
 	// Seed the negative cover with ∅ ↛ A for every non-constant attribute.
 	// Cluster-based sampling can only pair rows that agree somewhere, so

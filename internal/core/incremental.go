@@ -100,6 +100,7 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 	sampler.exhaustive = inc.opt.ExhaustWindows
 	sampler.dynamicRanges = inc.opt.DynamicCapaRanges
 	sampler.SetPool(pl)
+	sampler.SetSeed(inc.opt.Seed)
 
 	// ∅ seeding: a column can become non-constant in any batch.
 	var seed []fdset.FD

@@ -53,5 +53,8 @@ func (o Options) Validate() error {
 	if o.TopK < 0 {
 		return &OptionError{Field: "TopK", Value: o.TopK, Reason: "result bound must be ≥ 0 (0 means threshold mode)"}
 	}
+	if o.Ensemble < 0 {
+		return &OptionError{Field: "Ensemble", Value: o.Ensemble, Reason: "member count must be ≥ 0 (0 means single-run discovery)"}
+	}
 	return nil
 }

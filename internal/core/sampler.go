@@ -20,6 +20,8 @@ type clusterState struct {
 	rows   []int32
 	window int // current window size; pairs are (rows[i], rows[i+window-1])
 	pos    int // next window start within the current pass
+	wseq   int // window sizes consumed so far (cluster lifetime)
+	wstart int // seeded rotation offset into the window-size cycle (Sampler.SetSeed)
 
 	// Pass accounting: capa of a pass = newNonFDs/pairs over the whole
 	// pass even when a pass is split across batches by the pair quota.
@@ -36,8 +38,19 @@ func newClusterState(c preprocess.Cluster, recentLen int) *clusterState {
 }
 
 // exhausted reports whether every window size has been used up: no more
-// non-repeating pairs remain in this cluster.
-func (c *clusterState) exhausted() bool { return c.window > len(c.rows) }
+// non-repeating pairs remain in this cluster. The cycle holds the
+// len(rows)-1 sizes 2..len(rows); each pass consumes one.
+func (c *clusterState) exhausted() bool { return c.wseq >= len(c.rows)-1 }
+
+// setWindow derives the current window size from the cycle position: the
+// wseq-th element of the size sequence 2..len(rows) rotated by wstart.
+// With wstart = 0 (the unseeded schedule) this is the identity sequence
+// 2, 3, ..., len(rows) — byte-identical to the pre-seed engine.
+func (c *clusterState) setWindow() {
+	if span := len(c.rows) - 1; span > 0 {
+		c.window = 2 + (c.wseq+c.wstart)%span
+	}
+}
 
 // pushCapa records a completed pass capa into the recent ring.
 func (c *clusterState) pushCapa(v float64) {
@@ -582,5 +595,6 @@ func (s *Sampler) finishPass(c *clusterState) {
 	s.Passes++
 	c.passPairs, c.passNew = 0, 0
 	c.pos = 0
-	c.window++
+	c.wseq++
+	c.setWindow()
 }

@@ -1,0 +1,304 @@
+package ensemble
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"eulerfd/internal/core"
+	"eulerfd/internal/datasets"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/gen"
+	"eulerfd/internal/preprocess"
+)
+
+func testEncoded(t testing.TB) *preprocess.Encoded {
+	t.Helper()
+	return preprocess.Encode(gen.UCITable("uci", 1500, 8, false, 4, 42))
+}
+
+func baseConfig(members int, seed uint64) Config {
+	cfg := Config{Euler: core.DefaultOptions()}
+	cfg.Euler.Ensemble = members
+	cfg.Euler.Seed = seed
+	return cfg
+}
+
+// ensembleWorkerCounts is the worker sweep of the determinism suite. PR
+// CI runs the default {1, 4}; the nightly workflow widens it through
+// ENSEMBLE_WORKERS (comma-separated counts, e.g. "1,4,8").
+func ensembleWorkerCounts(t *testing.T) []int {
+	env := os.Getenv("ENSEMBLE_WORKERS")
+	if env == "" {
+		return []int{1, 4}
+	}
+	var out []int
+	for _, f := range strings.Split(env, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			t.Fatalf("ENSEMBLE_WORKERS: bad worker count %q", f)
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+func equalScored(a, b []ScoredFD) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnsembleDeterminismAcrossWorkers is the package's core contract:
+// the voted result — candidates, votes, confidences, g3 flags, and the
+// summed counters — is identical for every pool size, i.e. independent
+// of how members were scheduled and in which order they completed.
+func TestEnsembleDeterminismAcrossWorkers(t *testing.T) {
+	enc := testEncoded(t)
+	cfg := baseConfig(5, 42)
+	cfg.CrossCheck = true
+	cfg.Euler.Workers = 1
+	want, err := Discover(context.Background(), enc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range ensembleWorkerCounts(t) {
+		cfg.Euler.Workers = workers
+		got, err := Discover(context.Background(), enc, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalScored(want.FDs, got.FDs) {
+			t.Errorf("workers=%d voted FDs differ from sequential", workers)
+		}
+		if want.Stats.PairsCompared != got.Stats.PairsCompared || want.Stats.AgreeSets != got.Stats.AgreeSets {
+			t.Errorf("workers=%d summed counters differ: pairs %d vs %d, agreeSets %d vs %d",
+				workers, got.Stats.PairsCompared, want.Stats.PairsCompared, got.Stats.AgreeSets, want.Stats.AgreeSets)
+		}
+		for i, m := range want.Stats.MemberFDs {
+			if got.Stats.MemberFDs[i] != m {
+				t.Errorf("workers=%d member %d cover size %d, want %d", workers, i, got.Stats.MemberFDs[i], m)
+			}
+		}
+	}
+}
+
+// TestEnsembleSingleMemberMatchesDiscover pins the N=1 edge case: an
+// ensemble of one with base seed S is the plain seeded run — the same FD
+// set core.Discover produces, every candidate carrying 1/1 votes.
+func TestEnsembleSingleMemberMatchesDiscover(t *testing.T) {
+	enc := testEncoded(t)
+	for _, seed := range []uint64{0, 7} {
+		opt := core.DefaultOptions()
+		opt.Seed = seed
+		opt.Workers = 1
+		plain, plainStats := core.DiscoverEncoded(enc, opt)
+
+		res, err := Discover(context.Background(), enc, baseConfig(1, seed), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Members != 1 || len(res.FDs) != plain.Len() {
+			t.Fatalf("seed=%d: N=1 ensemble has %d candidates, plain run %d FDs", seed, len(res.FDs), plain.Len())
+		}
+		for _, f := range res.FDs {
+			if !plain.Contains(f.FD) {
+				t.Errorf("seed=%d: candidate %v not in plain run", seed, f.FD)
+			}
+			if f.Votes != 1 || f.Confidence != 1 {
+				t.Errorf("seed=%d: candidate %v votes=%d conf=%v, want 1/1", seed, f.FD, f.Votes, f.Confidence)
+			}
+		}
+		if res.Stats.PairsCompared != plainStats.PairsCompared {
+			t.Errorf("seed=%d: N=1 pairs %d, plain %d", seed, res.Stats.PairsCompared, plainStats.PairsCompared)
+		}
+		if got := res.Majority(); !plain.Equal(got) {
+			t.Errorf("seed=%d: N=1 majority differs from plain run", seed)
+		}
+	}
+}
+
+// TestEnsembleExhaustiveUnanimous: exhaustive members are exact under
+// any seed, so every member computes the identical cover — unanimous
+// votes, no suspects, and the majority is the exact result.
+func TestEnsembleExhaustiveUnanimous(t *testing.T) {
+	enc := testEncoded(t)
+	cfg := baseConfig(3, 99)
+	cfg.Euler.ExhaustWindows = true
+	cfg.CrossCheck = true
+	res, err := Discover(context.Background(), enc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.FDs {
+		if f.Votes != 3 {
+			t.Errorf("exhaustive candidate %v has %d/3 votes", f.FD, f.Votes)
+		}
+		if f.Suspect {
+			t.Errorf("exact candidate %v flagged suspect (g3=%v)", f.FD, f.G3)
+		}
+	}
+	if res.Stats.Suspects != 0 {
+		t.Errorf("exhaustive ensemble reports %d suspects", res.Stats.Suspects)
+	}
+}
+
+// TestEnsembleCrossCheckFlagsSuspects uses the chess corpus, where the
+// default-threshold run reports an FD the exact cover refutes (the
+// regress baseline pins its F1 at 0.8): the base-seed member keeps that
+// candidate in the union, and the g3 cross-check must flag it.
+func TestEnsembleCrossCheckFlagsSuspects(t *testing.T) {
+	d, err := datasets.ByName("chess")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := preprocess.Encode(d.Build())
+	cfg := baseConfig(3, 0)
+	cfg.CrossCheck = true
+	res, err := Discover(context.Background(), enc, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Suspects == 0 {
+		t.Fatal("chess ensemble found no suspects; the base member's known false positive should be flagged")
+	}
+	for _, f := range res.FDs {
+		if f.Suspect != (f.G3 > 0) {
+			t.Errorf("candidate %v: Suspect=%v inconsistent with g3=%v", f.FD, f.Suspect, f.G3)
+		}
+	}
+}
+
+// TestEnsembleObserverSequence: the observer sees completed = 1..N in
+// order with a constant total, regardless of scheduling.
+func TestEnsembleObserverSequence(t *testing.T) {
+	enc := testEncoded(t)
+	cfg := baseConfig(4, 11)
+	cfg.Euler.Workers = 4
+	var seen []int
+	obs := func(completed, total int) {
+		if total != 4 {
+			t.Errorf("observer total = %d, want 4", total)
+		}
+		seen = append(seen, completed)
+	}
+	if _, err := Discover(context.Background(), enc, cfg, obs); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("observer called %d times, want 4", len(seen))
+	}
+	for i, c := range seen {
+		if c != i+1 {
+			t.Fatalf("observer sequence %v, want 1..4", seen)
+		}
+	}
+}
+
+// TestEnsembleCancelledMemberFailsWhole: with a sequential pool the
+// observer fires between members, so cancelling after the first member
+// deterministically cancels the second — and the whole ensemble must
+// fail with ctx.Err() and a nil result (no partial votes leak).
+func TestEnsembleCancelledMemberFailsWhole(t *testing.T) {
+	enc := testEncoded(t)
+	cfg := baseConfig(3, 5)
+	cfg.Euler.Workers = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := func(completed, total int) {
+		if completed == 1 {
+			cancel()
+		}
+	}
+	res, err := Discover(ctx, enc, cfg, obs)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled ensemble returned a result with %d candidates", len(res.FDs))
+	}
+}
+
+// TestEnsemblePreCancelled: an already-cancelled context fails before
+// any member compares a pair.
+func TestEnsemblePreCancelled(t *testing.T) {
+	enc := testEncoded(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Discover(ctx, enc, baseConfig(2, 1), nil)
+	if err != context.Canceled || res != nil {
+		t.Fatalf("got (%v, %v), want (nil, context.Canceled)", res, err)
+	}
+}
+
+// TestEnsembleValidates: option errors surface as *core.OptionError
+// before any work.
+func TestEnsembleValidates(t *testing.T) {
+	enc := testEncoded(t)
+	cfg := baseConfig(2, 1)
+	cfg.Euler.Ensemble = -1
+	_, err := Discover(context.Background(), enc, cfg, nil)
+	var oe *core.OptionError
+	if !errorsAs(err, &oe) || oe.Field != "Ensemble" {
+		t.Fatalf("err = %v, want *core.OptionError on Ensemble", err)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion helper.
+func errorsAs(err error, target **core.OptionError) bool {
+	oe, ok := err.(*core.OptionError)
+	if ok {
+		*target = oe
+	}
+	return ok
+}
+
+// TestEnsembleVoteTieBreakCanonical drives the merge directly: two
+// members that disagree produce 1/2-vote candidates, which the strict-
+// majority rule excludes on every machine alike, and SortByConfidence
+// breaks equal-vote ties in canonical FD order.
+func TestEnsembleVoteTieBreakCanonical(t *testing.T) {
+	a := fdset.NewSet(fdset.NewFD([]int{0}, 2), fdset.NewFD([]int{1}, 3))
+	b := fdset.NewSet(fdset.NewFD([]int{0}, 2), fdset.NewFD([]int{4}, 3))
+	fds := mergeVotes([]*fdset.Set{a, b})
+	if len(fds) != 3 {
+		t.Fatalf("got %d candidates, want 3", len(fds))
+	}
+	res := &Result{Members: 2, FDs: fds}
+	maj := res.Majority()
+	if maj.Len() != 1 || !maj.Contains(fdset.NewFD([]int{0}, 2)) {
+		t.Fatalf("majority = %v, want exactly {0}->2 (exact ties excluded)", maj.Slice())
+	}
+	SortByConfidence(fds)
+	if fds[0].FD != fdset.NewFD([]int{0}, 2) {
+		t.Fatalf("strongest candidate = %v, want {0}->2", fds[0].FD)
+	}
+	if !fdset.Less(fds[1].FD, fds[2].FD) {
+		t.Fatalf("equal-vote tie not in canonical order: %v before %v", fds[1].FD, fds[2].FD)
+	}
+}
+
+// TestEnsembleImpliedVote: a member whose minimal cover contains a
+// generalization vouches for the specialization another member reports.
+func TestEnsembleImpliedVote(t *testing.T) {
+	gen1 := fdset.NewSet(fdset.NewFD([]int{0}, 3))       // A -> D
+	spec := fdset.NewSet(fdset.NewFD([]int{0, 1}, 3))    // AB -> D
+	other := fdset.NewSet(fdset.NewFD([]int{2}, 1))      // C -> B
+	fds := mergeVotes([]*fdset.Set{gen1, spec, other})
+	// gen1 vouches for its own A→D and for spec's AB→D (A→D implies it);
+	// spec's AB→D says nothing about the more general A→D.
+	want := map[string]int{"{0} -> 3": 1, "{0,1} -> 3": 2, "{2} -> 1": 1}
+	for _, f := range fds {
+		if want[f.FD.String()] != f.Votes {
+			t.Errorf("%v votes = %d, want %d", f.FD, f.Votes, want[f.FD.String()])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package ensemble
+
+import (
+	"testing"
+
+	"eulerfd/internal/fdset"
+)
+
+// FuzzEnsembleVote drives the canonical vote merge with arbitrary member
+// covers and checks its invariants: candidates come out in strictly
+// canonical order, every candidate's vote count is within [1, members],
+// confidence is exactly votes/members, and — the determinism property
+// the ensemble rests on — reversing the member order changes nothing.
+func FuzzEnsembleVote(f *testing.F) {
+	f.Add([]byte{2, 0x03, 2, 0x05, 2, 0x03, 2})
+	f.Add([]byte{3, 0x01, 4, 0x0f, 5})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0])%5 + 1
+		members := make([]*fdset.Set, n)
+		for i := range members {
+			members[i] = fdset.NewSet()
+		}
+		// Remaining bytes stream (lhsMask, rhs) pairs round-robin into
+		// the members, over an 8-attribute universe.
+		rest := data[1:]
+		for k := 0; k+1 < len(rest); k += 2 {
+			rhs := int(rest[k+1]) % 8
+			var lhs fdset.AttrSet
+			for a := 0; a < 8; a++ {
+				if rest[k]&(1<<a) != 0 && a != rhs {
+					lhs.Add(a)
+				}
+			}
+			members[(k/2)%n].Add(fdset.FD{LHS: lhs, RHS: rhs})
+		}
+
+		fds := mergeVotes(members)
+		for i, sf := range fds {
+			if i > 0 && !fdset.Less(fds[i-1].FD, sf.FD) {
+				t.Fatalf("candidates not in strict canonical order at %d: %v, %v", i, fds[i-1].FD, sf.FD)
+			}
+			if sf.Votes < 1 || sf.Votes > n {
+				t.Fatalf("candidate %v has %d votes outside [1, %d]", sf.FD, sf.Votes, n)
+			}
+			if sf.Confidence != float64(sf.Votes)/float64(n) {
+				t.Fatalf("candidate %v confidence %v != %d/%d", sf.FD, sf.Confidence, sf.Votes, n)
+			}
+			found := false
+			for _, m := range members {
+				if m.Contains(sf.FD) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("candidate %v is in no member cover", sf.FD)
+			}
+		}
+
+		rev := make([]*fdset.Set, n)
+		for i := range members {
+			rev[n-1-i] = members[i]
+		}
+		fds2 := mergeVotes(rev)
+		if !equalScored(fds, fds2) {
+			t.Fatalf("vote merge depends on member order: %v vs %v", fds, fds2)
+		}
+	})
+}

@@ -120,7 +120,55 @@ func Diff(base, cur *Baseline, th Thresholds) *DiffResult {
 		}
 	}
 	diffAFD(d, base.AFD, cur.AFD)
+	diffEnsemble(d, base.Ensemble, cur.Ensemble)
 	return d
+}
+
+// diffEnsemble exact-match gates the confidence-voting cell: every
+// candidate string (confidence, votes, g3 digits, suspect flag) must
+// reproduce the baseline.
+func diffEnsemble(d *DiffResult, base, cur *EnsembleCell) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.Warnings = append(d.Warnings, Finding{
+			Dataset: cur.Dataset, Field: "ensemble", Kind: "suite",
+			Note: "not in baseline (new ensemble cell; re-record to start gating it)",
+		})
+		return
+	case cur == nil:
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: base.Dataset, Field: "ensemble", Kind: "suite",
+			Note: "baseline ensemble cell missing from current run",
+		})
+		return
+	}
+	if base.Dataset != cur.Dataset || base.Members != cur.Members || base.Seed != cur.Seed {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "ensemble", Kind: "accuracy",
+			Note: fmt.Sprintf("ensemble cell inputs changed: %s/%d/seed=%d → %s/%d/seed=%d",
+				base.Dataset, base.Members, base.Seed, cur.Dataset, cur.Members, cur.Seed),
+		})
+		return
+	}
+	if len(base.FDs) != len(cur.FDs) {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "ensemble",
+			Base: float64(len(base.FDs)), Got: float64(len(cur.FDs)),
+			Kind: "accuracy", Note: "ensemble candidate count drift: deterministic vote changed",
+		})
+		return
+	}
+	for i := range base.FDs {
+		if base.FDs[i] != cur.FDs[i] {
+			d.Regressions = append(d.Regressions, Finding{
+				Dataset: cur.Dataset, Field: "ensemble", Kind: "accuracy",
+				Note: fmt.Sprintf("ensemble confidence drift at %d: %q → %q", i, base.FDs[i], cur.FDs[i]),
+			})
+			return
+		}
+	}
 }
 
 // diffAFD exact-match gates the approximate-FD cell: the scored result

@@ -30,6 +30,7 @@ import (
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/datasets"
+	"eulerfd/internal/ensemble"
 	"eulerfd/internal/gen"
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
@@ -128,6 +129,9 @@ type Baseline struct {
 	// AFD is the approximate-FD cell; omitted by baselines recorded
 	// before the AFD engine existed (Diff then only warns).
 	AFD *AFDCell `json:"afd,omitempty"`
+	// Ensemble is the confidence-voting cell; omitted by baselines
+	// recorded before the ensemble engine existed (Diff then only warns).
+	Ensemble *EnsembleCell `json:"ensemble,omitempty"`
 }
 
 // AFDCell is the approximate-FD regression cell: threshold discovery on
@@ -169,6 +173,51 @@ func runAFDCell() *AFDCell {
 	cell := &AFDCell{Dataset: afdCellCorpus, Measure: string(afd.G3), Epsilon: afdCellEps}
 	for _, sf := range fds {
 		cell.FDs = append(cell.FDs, fmt.Sprintf("%s score=%.9f", sf.FD.Format(enc.Attrs), sf.Score))
+	}
+	return cell
+}
+
+// EnsembleCell is the confidence-voting regression cell: a seeded
+// N-member ensemble with the g3 cross-check on one fixed corpus. Every
+// candidate renders as a canonical string with full float precision and
+// is gated by exact match — votes are integer counts, confidence is a
+// single final division, and the merge order is canonical, so the
+// strings are bit-identical across runs, machines, and pool sizes.
+type EnsembleCell struct {
+	Dataset string   `json:"dataset"`
+	Members int      `json:"members"`
+	Seed    uint64   `json:"seed"`
+	FDs     []string `json:"fds"` // "lhs -> rhs conf=… votes=… g3=… suspect=…" in canonical FD order
+}
+
+// ensembleCellCorpus/Members/Seed pin the ensemble cell's inputs. chess
+// is the suite corpus whose default-threshold run keeps a known false
+// positive, so the cell exercises disagreeing members and a non-empty
+// suspect set.
+const (
+	ensembleCellCorpus  = "chess"
+	ensembleCellMembers = 5
+	ensembleCellSeed    = 42
+)
+
+// runEnsembleCell measures the ensemble regression cell.
+func runEnsembleCell() *EnsembleCell {
+	d, err := datasets.ByName(ensembleCellCorpus)
+	if err != nil {
+		panic(err) // registry name is a compile-time constant here
+	}
+	enc := preprocess.Encode(d.Build())
+	cfg := ensemble.Config{Euler: core.DefaultOptions(), CrossCheck: true}
+	cfg.Euler.Ensemble = ensembleCellMembers
+	cfg.Euler.Seed = ensembleCellSeed
+	res, err := ensemble.Discover(context.Background(), enc, cfg, nil)
+	if err != nil {
+		panic(fmt.Sprintf("regress: ensemble cell failed: %v", err)) // background ctx, valid options
+	}
+	cell := &EnsembleCell{Dataset: ensembleCellCorpus, Members: ensembleCellMembers, Seed: ensembleCellSeed}
+	for _, sf := range res.FDs {
+		cell.FDs = append(cell.FDs, fmt.Sprintf("%s conf=%.9f votes=%d/%d g3=%.9f suspect=%v",
+			sf.FD.Format(enc.Attrs), sf.Confidence, sf.Votes, res.Members, sf.G3, sf.Suspect))
 	}
 	return cell
 }
@@ -222,6 +271,11 @@ func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
 	if w != nil {
 		fmt.Fprintf(w, "afd:%-20s measure=%s eps=%g fds=%d\n",
 			b.AFD.Dataset, b.AFD.Measure, b.AFD.Epsilon, len(b.AFD.FDs))
+	}
+	b.Ensemble = runEnsembleCell()
+	if w != nil {
+		fmt.Fprintf(w, "ensemble:%-15s members=%d seed=%d candidates=%d\n",
+			b.Ensemble.Dataset, b.Ensemble.Members, b.Ensemble.Seed, len(b.Ensemble.FDs))
 	}
 	return b
 }

@@ -50,6 +50,59 @@ func TestRunIsDeterministic(t *testing.T) {
 	if a.AFD.Dataset != afdCellCorpus || len(a.AFD.FDs) == 0 {
 		t.Errorf("AFD cell = %+v", a.AFD)
 	}
+	// So is the ensemble cell's rendered confidence set.
+	if a.Ensemble == nil || b.Ensemble == nil {
+		t.Fatal("Run produced no ensemble cell")
+	}
+	if !reflect.DeepEqual(a.Ensemble, b.Ensemble) {
+		t.Errorf("ensemble cell differs across runs:\n%+v\n%+v", a.Ensemble, b.Ensemble)
+	}
+	if a.Ensemble.Dataset != ensembleCellCorpus || len(a.Ensemble.FDs) == 0 {
+		t.Errorf("ensemble cell = %+v", a.Ensemble)
+	}
+}
+
+func TestDiffEnsemble(t *testing.T) {
+	cell := func() *EnsembleCell {
+		return &EnsembleCell{Dataset: "chess", Members: 5, Seed: 42,
+			FDs: []string{
+				"[A] -> B conf=1.000000000 votes=5/5 g3=0.000000000 suspect=false",
+				"[C] -> D conf=0.600000000 votes=3/5 g3=0.000250000 suspect=true",
+			}}
+	}
+	base, cur := synthetic(), synthetic()
+	base.Ensemble, cur.Ensemble = cell(), cell()
+	if d := Diff(base, cur, DefaultThresholds()); !d.Clean() {
+		t.Fatalf("identical ensemble cells diffed dirty: %+v", d.Regressions)
+	}
+	// A single confidence digit drift is a regression.
+	cur.Ensemble.FDs[1] = "[C] -> D conf=0.600000001 votes=3/5 g3=0.000250000 suspect=true"
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("confidence drift not gated")
+	}
+	// Count drift is a regression.
+	cur.Ensemble = cell()
+	cur.Ensemble.FDs = cur.Ensemble.FDs[:1]
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("count drift not gated")
+	}
+	// Changed cell inputs are a regression.
+	cur.Ensemble = cell()
+	cur.Ensemble.Seed = 43
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("input drift not gated")
+	}
+	// Missing from the current run: regression. Missing from the
+	// baseline (pre-ensemble recording): warning only.
+	cur.Ensemble = nil
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("missing ensemble cell not gated")
+	}
+	base.Ensemble, cur.Ensemble = nil, cell()
+	d := Diff(base, cur, DefaultThresholds())
+	if !d.Clean() || len(d.Warnings) == 0 {
+		t.Errorf("new ensemble cell should warn, not gate: %+v", d.Regressions)
+	}
 }
 
 func TestDiffAFD(t *testing.T) {

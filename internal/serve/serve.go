@@ -30,6 +30,7 @@ import (
 	"eulerfd/internal/algo"
 	"eulerfd/internal/core"
 	"eulerfd/internal/dataset"
+	"eulerfd/internal/ensemble"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/infer"
 )
@@ -440,6 +441,10 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if r.URL.Query().Get("ensemble") != "" {
+		s.handleEnsembleFDs(w, r, sess)
+		return
+	}
 	fds, attrs, _, ready := sess.snapshotResult()
 	if !ready {
 		writeError(w, http.StatusConflict, "no completed result yet")
@@ -451,6 +456,104 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, fdsDoc{Attrs: attrs, Count: fds.Len(), FDs: blob})
+}
+
+// maxEnsembleMembers caps the ?ensemble= member count: each member is a
+// full discovery run, so an unbounded N would let one request occupy a
+// job slot indefinitely.
+const maxEnsembleMembers = 64
+
+// handleEnsembleFDs answers ?ensemble=N[&seed=S]: re-discover the
+// session's relation N times under seeded sampling schedules, vote the
+// minimal covers per FD, and cross-check every candidate against the
+// exact g3 error. Ensemble queries are compute-bound like discovery
+// jobs, so they share the job-concurrency semaphore (excess queries
+// queue behind running jobs) and count toward Drain. The run honors the
+// request context — a client disconnect cancels all members — and each
+// completed member publishes an "ensemble" progress event.
+func (s *Server) handleEnsembleFDs(w http.ResponseWriter, r *http.Request, sess *session) {
+	q := r.URL.Query()
+	n, err := strconv.Atoi(q.Get("ensemble"))
+	if err != nil || n < 1 || n > maxEnsembleMembers {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("ensemble must be an integer in 1..%d, got %q", maxEnsembleMembers, q.Get("ensemble")))
+		return
+	}
+	var seed uint64
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("seed must be an unsigned integer, got %q", v))
+			return
+		}
+	}
+	enc, ready := sess.snapshotEncoded()
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		writeError(w, StatusClientClosedRequest, r.Context().Err().Error())
+		return
+	}
+	defer func() { <-s.slots }()
+
+	opt := s.cfg.Euler
+	opt.Ensemble = n
+	opt.Seed = seed
+	obs := func(completed, total int) {
+		sess.publish(event{name: "ensemble", data: ensembleProgressDoc{Completed: completed, Total: total}})
+	}
+	res, err := ensemble.Discover(r.Context(), enc, ensemble.Config{Euler: opt, CrossCheck: true}, obs)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	byConf := append([]ensemble.ScoredFD(nil), res.FDs...)
+	ensemble.SortByConfidence(byConf)
+	sess.mu.Lock()
+	attrs := sess.attrs
+	sess.mu.Unlock()
+	doc := ensembleDoc{
+		Attrs:    attrs,
+		Members:  res.Members,
+		Seed:     res.Seed,
+		Count:    len(byConf),
+		Majority: res.Stats.MajoritySize,
+		Suspects: res.Stats.Suspects,
+		FDs:      make([]ensembleFDDoc, 0, len(byConf)),
+	}
+	for _, f := range byConf {
+		lhs := f.FD.LHS.Attrs()
+		if lhs == nil {
+			lhs = []int{}
+		}
+		doc.FDs = append(doc.FDs, ensembleFDDoc{
+			LHS: lhs, RHS: f.FD.RHS,
+			Confidence: f.Confidence, Votes: f.Votes,
+			G3: f.G3, Suspect: f.Suspect,
+		})
+	}
+	writeJSON(w, http.StatusOK, doc)
 }
 
 // handleAFDs answers approximate-FD queries against the last completed

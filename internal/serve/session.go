@@ -7,6 +7,7 @@ import (
 	"eulerfd/internal/afd"
 	"eulerfd/internal/core"
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/preprocess"
 )
 
 // Session lifecycle states. The machine is documented in DESIGN.md:
@@ -143,6 +144,19 @@ func (s *session) afdScorer(cacheSize int) (*afd.Scorer, bool) {
 		s.scorer = afd.NewScorer(s.inc.Snapshot(), cacheSize)
 	}
 	return s.scorer, true
+}
+
+// snapshotEncoded returns an immutable encoding of every row absorbed
+// so far, for ensemble re-discovery. ok = false when the session has no
+// completed result. The same safety argument as afdScorer applies:
+// ready means no job touches inc, and the snapshot outlives appends.
+func (s *session) snapshotEncoded() (*preprocess.Encoded, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != stateReady {
+		return nil, false
+	}
+	return s.inc.Snapshot(), true
 }
 
 // snapshotResult returns the last completed result, or ok = false when

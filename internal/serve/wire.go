@@ -86,6 +86,40 @@ type afdsDoc struct {
 	FDs     []fdset.ScoredFD `json:"fds"`
 }
 
+// ensembleFDDoc is one voted candidate of an ensemble query:
+// {"lhs":[indices],"rhs":index} plus its vote tally, confidence
+// (votes/members), and the exact g3 error when cross-checked. Suspect
+// marks candidates the cross-check refutes (g3 > 0 on the full
+// relation: the FD provably does not hold).
+type ensembleFDDoc struct {
+	LHS        []int   `json:"lhs"`
+	RHS        int     `json:"rhs"`
+	Confidence float64 `json:"confidence"`
+	Votes      int     `json:"votes"`
+	G3         float64 `json:"g3"`
+	Suspect    bool    `json:"suspect,omitempty"`
+}
+
+// ensembleDoc answers an ensemble query (?ensemble=N): every candidate
+// any member reported, strongest first, with the majority size and
+// suspect count summarized.
+type ensembleDoc struct {
+	Attrs    []string        `json:"attrs"`
+	Members  int             `json:"members"`
+	Seed     uint64          `json:"seed"`
+	Count    int             `json:"count"`
+	Majority int             `json:"majority"`
+	Suspects int             `json:"suspects"`
+	FDs      []ensembleFDDoc `json:"fds"`
+}
+
+// ensembleProgressDoc is the event payload published after each
+// completed ensemble member run.
+type ensembleProgressDoc struct {
+	Completed int `json:"completed"`
+	Total     int `json:"total"`
+}
+
 // statsDoc carries the statistics of the last completed job.
 type statsDoc struct {
 	Rows    int        `json:"rows"`

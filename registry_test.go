@@ -8,14 +8,14 @@ import (
 
 func TestAlgorithmsRegistry(t *testing.T) {
 	infos := Algorithms()
-	if len(infos) != 12 {
-		t.Fatalf("Algorithms() = %d entries, want 12", len(infos))
+	if len(infos) != 13 {
+		t.Fatalf("Algorithms() = %d entries, want 13", len(infos))
 	}
 	if infos[0].ID != AlgoEuler {
 		t.Errorf("first registered algorithm = %q, want %q", infos[0].ID, AlgoEuler)
 	}
 	wantExact := map[AlgoID]bool{
-		AlgoEuler: false, AlgoHyFD: true, AlgoTANE: true, AlgoFun: true,
+		AlgoEuler: false, AlgoEulerEnsemble: false, AlgoHyFD: true, AlgoTANE: true, AlgoFun: true,
 		AlgoDfd: true, AlgoFdep: true, AlgoDepMiner: true, AlgoFastFDs: true,
 		AlgoAIDFD: false, AlgoKivinen: false,
 		AlgoAFDg3: false, AlgoAFDTopK: false,
