@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels bench-ensemble regress regress-record serve-smoke
+.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels bench-ensemble bench-incremental regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -59,6 +59,11 @@ bench-kernels:
 # Regenerates the committed ensemble confidence-voting benchmark.
 bench-ensemble:
 	$(GO) run ./cmd/fdbench -ensemble-json BENCH_ensemble.json
+
+# Regenerates the committed incremental-maintenance benchmark (delta
+# batches through the mutation log vs full rediscovery per batch).
+bench-incremental:
+	$(GO) run ./cmd/fdbench -incremental-json BENCH_incremental.json
 
 # Regression gate: runs the canonical suite and diffs against the
 # committed BASELINE.json. Accuracy is exact-match gated; wall times are

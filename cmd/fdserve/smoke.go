@@ -123,6 +123,50 @@ func runSmoke(cfg serve.Config, stdout io.Writer) error {
 		return err
 	}
 
+	// Post a mixed mutation batch to the session's log and read back
+	// behind a version barrier.
+	const smokeMutations = `{"mutations":[
+		{"op":"delete","ids":[8]},
+		{"op":"update","ids":[1],"rows":[["Jack","33","Low","Male","drugC"]]},
+		{"op":"append","rows":[["Wanda","25","Low","Female","drugC"]]}
+	]}`
+	var ackM struct {
+		Session, Job string
+		Version      int64 `json:"version"`
+	}
+	if err := step("post mutations", smokePost(base+"/v1/sessions/"+ack.Session+"/mutations", smokeMutations, http.StatusAccepted, &ackM)); err != nil {
+		return err
+	}
+	if ackM.Version != 2 {
+		return fmt.Errorf("post mutations: accepted on version %d, want 2", ackM.Version)
+	}
+	if err := step("mutations commit", smokeWaitState(base, ack.Session, "ready")); err != nil {
+		return err
+	}
+	var stats struct {
+		Rows    int   `json:"rows"`
+		Version int64 `json:"version"`
+		Deletes int64 `json:"deletes"`
+		Updates int64 `json:"updates"`
+	}
+	if err := step("stats carry version", smokeGet(base+"/v1/sessions/"+ack.Session+"/stats", &stats)); err != nil {
+		return err
+	}
+	if stats.Version != 3 || stats.Rows != 11 || stats.Deletes != 1 || stats.Updates != 1 {
+		return fmt.Errorf("stats after mutations: %+v", stats)
+	}
+	if err := step("min_version met", smokeGet(base+"/v1/sessions/"+ack.Session+"/fds?min_version=3", nil)); err != nil {
+		return err
+	}
+	var stale int
+	if err := smokeGetStatus(base+"/v1/sessions/"+ack.Session+"/fds?min_version=99", &stale); err != nil {
+		return err
+	}
+	if stale != http.StatusPreconditionFailed {
+		return fmt.Errorf("future min_version: status %d, want 412", stale)
+	}
+	fmt.Fprintf(stdout, "fdserve: smoke: %-28s ok\n", "stale read is 412")
+
 	// Cancel a second long-running job mid-cycle: 499, slot reclaimed.
 	var ack3 struct{ Session, Job string }
 	if err := step("submit second", smokePost(base+"/v1/sessions?name=second", smokeCSV, http.StatusAccepted, &ack3)); err != nil {
@@ -198,6 +242,17 @@ func smokePost(url, body string, want int, out any) error {
 	if out != nil {
 		return json.Unmarshal(blob, out)
 	}
+	return nil
+}
+
+func smokeGetStatus(url string, status *int) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	*status = resp.StatusCode
 	return nil
 }
 

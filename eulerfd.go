@@ -173,11 +173,55 @@ type Result struct {
 	Stats Stats `json:"stats"`
 }
 
-// Incremental maintains an EulerFD result across appended row batches —
-// the DMS deployment pattern, where relations grow by periodic imports.
-// Construct with NewIncremental, feed batches with Append, read the
-// current result with FDs.
+// Incremental maintains an EulerFD result across relation mutations —
+// the DMS deployment pattern, where relations grow by periodic imports
+// and are repaired by deletes and row updates. Construct with
+// NewIncremental, feed batches with Append, Delete, Update, or Apply,
+// and read the current result with FDs. Every committed batch advances
+// Version by one; a batch that fails validation or is cancelled before
+// its commit point leaves the state untouched (only a cancelled first
+// batch — the bootstrap — poisons the instance, see ErrPoisoned).
 type Incremental = core.Incremental
+
+// Mutation wire types for the versioned mutation log. A Mutation is one
+// operation ("append", "delete", or "update"); a MutationBatch is an
+// ordered list applied atomically by Incremental.Apply and by the
+// fdserve POST /v1/sessions/{id}/mutations endpoint. The JSON tags
+// (op, rows, ids, mutations) are the stable wire shape shared by the
+// Go API and the HTTP service.
+type (
+	// Mutation is one mutation-log operation.
+	Mutation = core.Mutation
+	// MutationBatch is an atomically-applied ordered list of Mutations.
+	MutationBatch = core.MutationBatch
+	// MutationError reports the first invalid or unresolvable operation
+	// of a rejected batch.
+	MutationError = core.MutationError
+)
+
+// Mutation op vocabulary, the legal values of Mutation.Op.
+const (
+	OpAppend = core.OpAppend
+	OpDelete = core.OpDelete
+	OpUpdate = core.OpUpdate
+)
+
+// ErrPoisoned is returned by every method of an Incremental whose
+// bootstrap batch was cancelled or failed mid-build: the covers are
+// partially built and cannot answer. Discard the instance. Later
+// (delta) batches never poison — they roll back instead.
+var ErrPoisoned = core.ErrPoisoned
+
+// AppendRows builds an append Mutation from rows.
+func AppendRows(rows [][]string) Mutation { return core.AppendOp(rows) }
+
+// DeleteRows builds a delete Mutation addressing rows by id (ids are
+// assigned in append order, starting at 0; see Incremental.NextID).
+func DeleteRows(ids ...int64) Mutation { return core.DeleteOp(ids...) }
+
+// UpdateRows builds an update Mutation rewriting the row with ids[i] to
+// rows[i]; ids keep their values.
+func UpdateRows(ids []int64, rows [][]string) Mutation { return core.UpdateOp(ids, rows) }
 
 // NewIncremental prepares incremental EulerFD discovery over a schema.
 func NewIncremental(name string, attrs []string, opt Options) (*Incremental, error) {

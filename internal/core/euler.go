@@ -86,6 +86,24 @@ type Options struct {
 	// keeps discriminating even after absolute capa values decay below
 	// the static Table IV ladder.
 	DynamicCapaRanges bool
+	// CompactFraction is the tombstone share of the encoder's row spine
+	// that triggers compaction after a committed mutation batch: when
+	// dead rows / total slots reaches the fraction (and the spine holds at
+	// least CompactMinRows slots), NewIncremental's encoder densifies in
+	// one pass. Legal range: [0, 1] and not NaN, with 0 selecting the
+	// default 0.25. One-shot discovery ignores it.
+	CompactFraction float64
+	// CompactMinRows is the minimum row-spine height before compaction is
+	// considered, so small sessions never pay for densification. Legal
+	// range: ≥ 0, with 0 selecting the default 1024. One-shot discovery
+	// ignores it.
+	CompactMinRows int
+	// DeltaChunkPairs bounds how many pair comparisons one chunk of the
+	// incremental delta scan performs between cancellation checks: larger
+	// chunks amortize the check, smaller ones cancel faster. Legal range:
+	// ≥ 0, with 0 selecting the default 8192. One-shot discovery ignores
+	// it.
+	DeltaChunkPairs int
 }
 
 // DefaultOptions returns the configuration used throughout the paper's
@@ -112,6 +130,9 @@ func (o Options) withDefaults(numRows int) Options {
 	if o.Workers < 1 {
 		o.Workers = runtime.NumCPU()
 	}
+	if o.DeltaChunkPairs < 1 {
+		o.DeltaChunkPairs = defaultDeltaChunkPairs
+	}
 	_ = numRows
 	return o
 }
@@ -130,7 +151,14 @@ type Stats struct {
 	PcoverSize    int           `json:"pcover_size"` // minimal FDs output
 	SampleBatches int           `json:"sample_batches"`
 	Inversions    int           `json:"inversions"` // second-cycle iterations
-	Preprocess    time.Duration `json:"preprocess_ns"`
+	// Retired and PatchedRHS are produced only by incremental mutation
+	// batches (core.Incremental): maximal non-FDs that left the negative
+	// cover because their last witness died, and RHS attributes whose
+	// positive-cover tree was re-inverted because of a retirement. One-shot
+	// discovery leaves them zero.
+	Retired    int           `json:"retired"`
+	PatchedRHS int           `json:"patched_rhs"`
+	Preprocess time.Duration `json:"preprocess_ns"`
 	Sampling      time.Duration `json:"sampling_ns"`
 	NcoverBuild   time.Duration `json:"ncover_build_ns"`
 	Inversion     time.Duration `json:"inversion_ns"`

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"eulerfd/internal/cover"
 	"eulerfd/internal/fdset"
@@ -11,15 +12,35 @@ import (
 	"eulerfd/internal/timing"
 )
 
-// Incremental maintains an EulerFD result across appended row batches —
-// the DMS deployment pattern, where relations grow by periodic imports.
+// Incremental maintains an EulerFD result across row mutations — the DMS
+// deployment pattern, where relations grow by periodic imports and are
+// corrected by deletes and updates.
 //
-// Appending rows only ever *adds* violations: a non-FD witnessed before
-// stays witnessed, so the negative cover carries over verbatim and new
-// evidence folds in through the same incremental inversion the double
-// cycle already uses. Each Append runs the sampling cycles over the grown
-// relation (fresh windows, so earlier pairs may be revisited — wasteful
-// but sound) and inverts only the newly admitted non-FDs.
+// The first committed batch bootstraps: it runs the sampling double cycle
+// and, alongside the usual covers, tallies per-agree-set witness counts in
+// (pair × shared attribute) units. Every later batch is a delta: each
+// touched row is paired only against the current relation (delta × all,
+// never all × all), producing a net witness delta per agree set. Appends
+// can only add violations, so their evidence folds in through the same
+// incremental inversion the double cycle uses; deletes and updates can
+// *retire* violations — when a maximal non-FD's witness count reaches
+// zero it leaves the negative cover, still-witnessed subsets it dominated
+// are re-admitted, and the affected positive-cover regions re-invert from
+// the patched negative cover while every other RHS tree is patched
+// forward as usual.
+//
+// Under Options.ExhaustWindows the bootstrap counts every intra-cluster
+// pair exactly once per shared-attribute cluster, so witness counts are
+// exact and any mutation sequence yields the exact minimal cover of the
+// final relation. Without it, bootstrap counts are lower bounds (sampling
+// skips pairs): decrements clamp at zero, so deletes may retire evidence
+// early — the same flavor of approximation sampling itself introduces.
+//
+// Batches are atomic: evidence gathering (phase one) is cancellable and
+// touches nothing, the commit (phase two) is not cancellable. A cancelled
+// delta batch therefore rolls back to the last committed version for
+// free. Only a cancelled or failed *bootstrap* poisons the Incremental
+// (its covers are partially built); every later call returns ErrPoisoned.
 type Incremental struct {
 	opt     Options
 	name    string
@@ -28,9 +49,24 @@ type Incremental struct {
 	pcover  *cover.PCover
 	seeded  map[int]bool // RHS attrs whose ∅ non-FD is already recorded
 	ncols   int
+	word    bool // ≤ 64 columns: witness on raw agree masks
 
-	// Appends counts the batches folded in so far.
+	// Witness tallies per agree set, (pair × shared attribute) units; the
+	// word/wide split mirrors the sampler's dedup tables. An entry exists
+	// iff its count is positive.
+	witnessW map[uint64]int64
+	witness  map[fdset.AttrSet]int64
+
+	version     int64
+	poisoned    bool
+	lastChanged []int64 // ids rewritten by the last committed batch
+
+	// Appends counts the batches committed so far (of any kind, for
+	// backward compatibility with the original append-only counter);
+	// Deletes and Updates count rows deleted and rewritten.
 	Appends int
+	Deletes int
+	Updates int
 }
 
 // NewIncremental prepares incremental discovery over a schema. It
@@ -42,23 +78,52 @@ func NewIncremental(name string, attrs []string, opt Options) (*Incremental, err
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
+	compactFraction, compactMinRows := opt.CompactFraction, opt.CompactMinRows
 	opt = opt.withDefaults(0)
 	ncols := len(attrs)
-	return &Incremental{
+	encoder := preprocess.NewEncoder(attrs)
+	encoder.SetCompaction(compactFraction, compactMinRows)
+	inc := &Incremental{
 		opt:     opt,
 		name:    name,
-		encoder: preprocess.NewEncoder(attrs),
+		encoder: encoder,
 		// Split ranks need global attribute frequencies, which shift as
 		// data grows; incremental covers use natural order.
 		ncover: cover.NewNCover(ncols, nil),
 		pcover: cover.NewPCover(ncols, nil),
 		seeded: make(map[int]bool, ncols),
 		ncols:  ncols,
-	}, nil
+		word:   ncols <= 64,
+	}
+	if inc.word {
+		inc.witnessW = make(map[uint64]int64)
+	} else {
+		inc.witness = make(map[fdset.AttrSet]int64)
+	}
+	return inc, nil
 }
 
-// NumRows returns the rows absorbed so far.
+// NumRows returns the alive rows absorbed so far.
 func (inc *Incremental) NumRows() int { return inc.encoder.NumRows() }
+
+// Version returns the number of committed mutation batches. It is the
+// monotone session version fdserve echoes on every read: 0 before the
+// bootstrap commits, then +1 per committed batch.
+func (inc *Incremental) Version() int64 { return inc.version }
+
+// NextID returns the id the next appended row will receive. Row ids are
+// assigned sequentially from 0 in append order and survive compaction.
+func (inc *Incremental) NextID() int64 { return inc.encoder.NextID() }
+
+// Poisoned reports whether a cancelled or failed bootstrap left the
+// covers partially built (see ErrPoisoned).
+func (inc *Incremental) Poisoned() bool { return inc.poisoned }
+
+// LastChangedIDs returns the row ids the last committed batch rewrote in
+// place (update targets that survived the batch). Together with Snapshot
+// it drives incremental refresh of derived state — fdserve advances its
+// AFD scorer's partition cache with exactly this list.
+func (inc *Incremental) LastChangedIDs() []int64 { return inc.lastChanged }
 
 // Append folds a batch of rows into the result and returns run statistics
 // for the batch. It is AppendContext without cancellation or progress.
@@ -67,14 +132,66 @@ func (inc *Incremental) Append(rows [][]string) (Stats, error) {
 }
 
 // AppendContext folds a batch of rows into the result under a context,
-// reporting per-cycle progress to obs (which may be nil). Cancellation
-// is cooperative, checked between double-cycle stages. A cancelled
-// append leaves the Incremental with the batch's rows absorbed but its
-// covers only partially updated; the state is still internally
-// consistent, but the result no longer reflects a completed run, so
-// callers that cancel should discard the Incremental (fdserve marks the
-// whole session cancelled and rejects further appends).
+// reporting per-cycle progress to obs (which may be nil). The first batch
+// bootstraps via the sampling double cycle; later batches take the delta
+// path of ApplyContext, pairing only new rows against the relation.
 func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs Observer) (Stats, error) {
+	if inc.poisoned {
+		return Stats{}, ErrPoisoned
+	}
+	if inc.version == 0 {
+		return inc.bootstrapContext(ctx, rows, obs)
+	}
+	return inc.ApplyContext(ctx, MutationBatch{Mutations: []Mutation{AppendOp(rows)}}, obs)
+}
+
+// Delete removes the given rows by id, as a one-mutation batch.
+func (inc *Incremental) Delete(rowIDs []int64) (Stats, error) {
+	return inc.Apply(MutationBatch{Mutations: []Mutation{DeleteOp(rowIDs...)}})
+}
+
+// Update rewrites one row by id, as a one-mutation batch.
+func (inc *Incremental) Update(rowID int64, row []string) (Stats, error) {
+	return inc.Apply(MutationBatch{Mutations: []Mutation{UpdateOp([]int64{rowID}, [][]string{row})}})
+}
+
+// Apply commits a mutation batch. It is ApplyContext without cancellation
+// or progress.
+func (inc *Incremental) Apply(batch MutationBatch) (Stats, error) {
+	return inc.ApplyContext(context.Background(), batch, nil)
+}
+
+// ApplyContext atomically commits a mutation batch under a context,
+// reporting progress to obs (which may be nil): one "sampled" snapshot
+// after the delta scan and one "inverted" after the covers are patched.
+// Cancellation is checked during the scan and once more before the
+// commit; past that point the batch always commits. On any error —
+// cancellation included — nothing was applied and the Incremental still
+// reflects its last committed version. The first committed batch must be
+// append-only (there are no rows to delete or update yet) and bootstraps
+// via the sampling double cycle.
+func (inc *Incremental) ApplyContext(ctx context.Context, batch MutationBatch, obs Observer) (Stats, error) {
+	if inc.poisoned {
+		return Stats{}, ErrPoisoned
+	}
+	if err := batch.Validate(inc.ncols); err != nil {
+		return Stats{}, err
+	}
+	if inc.version == 0 {
+		rows, err := batch.appendOnlyRows()
+		if err != nil {
+			return Stats{}, err
+		}
+		return inc.bootstrapContext(ctx, rows, obs)
+	}
+	return inc.applyDelta(ctx, batch, obs)
+}
+
+// bootstrapContext runs the first batch through the sampling double cycle
+// over the whole (young) relation, tallying witness counts as it sweeps.
+// A cancelled or failed bootstrap poisons the Incremental: its rows are
+// absorbed but the covers are only partially built.
+func (inc *Incremental) bootstrapContext(ctx context.Context, rows [][]string, obs Observer) (Stats, error) {
 	start := timing.Start()
 	if err := ctx.Err(); err != nil {
 		return Stats{}, err
@@ -82,17 +199,17 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 	if err := inc.encoder.Append(rows); err != nil {
 		return Stats{}, err
 	}
-	inc.Appends++
 	enc := inc.encoder.Snapshot(inc.name)
 	stats := Stats{Rows: enc.NumRows, Cols: inc.ncols}
 	if inc.ncols == 0 {
+		inc.version++
+		inc.Appends++
 		start.SetTo(&stats.Total)
 		return stats, nil
 	}
 
-	// The pool lives for one Append: each batch is its own discovery run
-	// over the grown relation, so pool lifetime matches run lifetime just
-	// as in DiscoverEncoded.
+	// The pool lives for one batch, matching run lifetime as in
+	// DiscoverEncoded.
 	pl := pool.New(inc.opt.Workers)
 	defer pl.Close()
 
@@ -101,8 +218,9 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 	sampler.dynamicRanges = inc.opt.DynamicCapaRanges
 	sampler.SetPool(pl)
 	sampler.SetSeed(inc.opt.Seed)
+	sampler.SetWitness(inc.witnessW, inc.witness)
 
-	// ∅ seeding: a column can become non-constant in any batch.
+	// ∅ seeding: the relation is young but a column may already vary.
 	var seed []fdset.FD
 	for a := 0; a < inc.ncols; a++ {
 		if !inc.seeded[a] && enc.NumLabels[a] > 1 {
@@ -133,7 +251,287 @@ func (inc *Incremental) AppendContext(ctx context.Context, rows [][]string, obs 
 	stats.NcoverSize = inc.ncover.Size()
 	stats.PcoverSize = inc.pcover.Size()
 	start.SetTo(&stats.Total)
-	return stats, err
+	if err != nil {
+		inc.poisoned = true
+		return stats, err
+	}
+	inc.version++
+	inc.Appends++
+	inc.lastChanged = nil
+	return stats, nil
+}
+
+// applyDelta is the two-phase delta path for every batch after the
+// bootstrap. Phase one (cancellable) scans the batch against a virtual
+// overlay of the relation; phase two (uncancellable) commits the encoder
+// operations, merges the witness delta, and patches both covers.
+func (inc *Incremental) applyDelta(ctx context.Context, batch MutationBatch, obs Observer) (Stats, error) {
+	start := timing.Start()
+	stats := Stats{Cols: inc.ncols}
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+
+	b := newBatchState(inc)
+	tScan := timing.Start()
+	if err := b.run(ctx, batch); err != nil {
+		return stats, err
+	}
+	tScan.AddTo(&stats.Sampling)
+	stats.PairsCompared = b.pairs
+
+	emit := func(phase string, rows int) {
+		if obs == nil {
+			return
+		}
+		obs(Progress{
+			Phase:         phase,
+			Rows:          rows,
+			Cols:          inc.ncols,
+			PairsCompared: b.pairs,
+			AgreeSets:     inc.witnessLen(),
+			NcoverSize:    inc.ncover.Size(),
+			PcoverSize:    inc.pcover.Size(),
+			Inversions:    stats.Inversions,
+		})
+	}
+	emit("sampled", b.virtualRows())
+	// Last cancellation point: past here the batch commits unconditionally,
+	// which is what keeps a cancelled batch a clean no-op.
+	if err := ctx.Err(); err != nil {
+		return stats, err
+	}
+
+	tPatch := timing.Start()
+	inc.lastChanged = b.commitEncoder()
+	realized, retired := inc.mergeWitness(&b.d)
+	pl := pool.New(inc.opt.Workers)
+	defer pl.Close()
+	inc.patchCovers(realized, retired, pl, &stats)
+	tPatch.AddTo(&stats.Inversion)
+
+	inc.version++
+	inc.Appends++
+	inc.Deletes += b.deletes
+	inc.Updates += b.updates
+	stats.Rows = inc.encoder.NumRows()
+	stats.AgreeSets = inc.witnessLen()
+	stats.NcoverSize = inc.ncover.Size()
+	stats.PcoverSize = inc.pcover.Size()
+	stats.Inversions++
+	start.SetTo(&stats.Total)
+	emit("inverted", stats.Rows)
+	return stats, nil
+}
+
+// witnessLen returns the number of alive agree sets.
+func (inc *Incremental) witnessLen() int {
+	if inc.word {
+		return len(inc.witnessW)
+	}
+	return len(inc.witness)
+}
+
+// mergeWitness folds the batch's net delta into the long-lived witness
+// tallies, in the scan's first-touch order so the realized and retired
+// lists are deterministic. An agree set whose count rises from zero is
+// realized (new evidence to admit); one whose count falls to zero is
+// retired (its last witness died). Counts clamp at zero: with a
+// non-exhaustive bootstrap the tallies are lower bounds, so a decrement
+// can overshoot evidence that was never counted.
+func (inc *Incremental) mergeWitness(d *deltaScan) (realized, retired []fdset.AttrSet) {
+	if inc.word {
+		for _, w := range d.dwOrder {
+			dv := d.dw[w]
+			if dv == 0 {
+				continue
+			}
+			old := inc.witnessW[w]
+			now := old + dv
+			if now < 0 {
+				now = 0
+			}
+			switch {
+			case now == 0 && old > 0:
+				delete(inc.witnessW, w)
+				retired = append(retired, fdset.FromWord(w))
+			case now > 0 && old == 0:
+				inc.witnessW[w] = now
+				realized = append(realized, fdset.FromWord(w))
+			case now == 0:
+				delete(inc.witnessW, w)
+			default:
+				inc.witnessW[w] = now
+			}
+		}
+		return realized, retired
+	}
+	for _, s := range d.dsOrder {
+		dv := d.ds[s]
+		if dv == 0 {
+			continue
+		}
+		old := inc.witness[s]
+		now := old + dv
+		if now < 0 {
+			now = 0
+		}
+		switch {
+		case now == 0 && old > 0:
+			delete(inc.witness, s)
+			retired = append(retired, s)
+		case now > 0 && old == 0:
+			inc.witness[s] = now
+			realized = append(realized, s)
+		case now == 0:
+			delete(inc.witness, s)
+		default:
+			inc.witness[s] = now
+		}
+	}
+	return realized, retired
+}
+
+// aliveSubsetsOf collects every alive agree set that is a subset of some
+// removed maximal set — the re-admission candidates after retirements.
+// Map iteration order does not reach the caller: the result is sorted.
+func (inc *Incremental) aliveSubsetsOf(removed []fdset.AttrSet) []fdset.AttrSet {
+	var out []fdset.AttrSet
+	if inc.word {
+		for w := range inc.witnessW {
+			s := fdset.FromWord(w)
+			if subsetOfAny(s, removed) {
+				out = append(out, s)
+			}
+		}
+	} else {
+		for s := range inc.witness {
+			if subsetOfAny(s, removed) {
+				out = append(out, s)
+			}
+		}
+	}
+	sortSetsDesc(out)
+	return out
+}
+
+// patchCovers folds one batch's realized and retired agree sets into the
+// negative and positive covers:
+//
+//  1. ∅-seed transitions from alive column cardinalities: a column that
+//     starts varying admits ∅ ↛ a; one that collapses back to constant
+//     retires it.
+//  2. Admissions: realized sets expand to non-FDs and enter the negative
+//     cover in descending cardinality (the batch order that only rejects
+//     dominated sets), tracked exactly like a double-cycle drain.
+//  3. Retirements: each retired set leaves every per-RHS tree that stored
+//     it. A retired set superseded during this batch's admissions is
+//     already gone — its region is consistent without patching.
+//  4. Re-admission: alive agree sets dominated only by a removed maximal
+//     set may now be maximal themselves; candidates (subsets of a removed
+//     set) re-enter affected trees in descending cardinality. A tree left
+//     empty while its column still varies re-seeds ∅.
+//  5. Positive cover: every RHS with a removal re-inverts from its patched
+//     tree (inversion cannot run backwards); RHSs that only admitted
+//     evidence invert the pending non-FDs forward, as the double cycle
+//     does.
+func (inc *Incremental) patchCovers(realized, retired []fdset.AttrSet, pl *pool.Pool, stats *Stats) {
+	affected := make(map[int]bool)
+	removedBy := make(map[int][]fdset.AttrSet)
+
+	// 1. ∅-seed transitions.
+	var seeds []fdset.FD
+	for a := 0; a < inc.ncols; a++ {
+		varying := inc.encoder.AliveDistinct(a) > 1
+		switch {
+		case varying && !inc.seeded[a]:
+			inc.seeded[a] = true
+			seeds = append(seeds, fdset.FD{LHS: fdset.EmptySet(), RHS: a})
+		case !varying && inc.seeded[a]:
+			inc.seeded[a] = false
+			if inc.ncover.RemoveLHS(a, fdset.EmptySet()) {
+				affected[a] = true
+				stats.Retired++
+			}
+		}
+	}
+
+	// 2. Admissions, with the double cycle's pending bookkeeping: entries
+	// superseded within the batch are dropped before inversion.
+	sortSetsDesc(realized)
+	admissions := append(seeds, nonFDsOf(realized, inc.ncols)...)
+	pending := make(map[fdset.FD]struct{})
+	if len(admissions) > 0 {
+		_, events := inc.ncover.AddTrackedBatch(admissions, pl)
+		for _, ev := range events {
+			for _, lhs := range ev.Superseded {
+				delete(pending, fdset.FD{LHS: lhs, RHS: ev.NonFD.RHS})
+			}
+			pending[ev.NonFD] = struct{}{}
+		}
+	}
+
+	// 3. Retirements.
+	sortSetsDesc(retired)
+	for _, m := range retired {
+		for rhs := 0; rhs < inc.ncols; rhs++ {
+			if m.Has(rhs) {
+				continue
+			}
+			if inc.ncover.RemoveLHS(rhs, m) {
+				removedBy[rhs] = append(removedBy[rhs], m)
+				affected[rhs] = true
+				stats.Retired++
+			}
+		}
+	}
+
+	// 4. Re-admission of newly maximal evidence. Any newly maximal alive
+	// set must be a subset of some removed maximal set (otherwise what
+	// dominated it is still stored), so candidates come from one witness
+	// sweep against the union of removals.
+	affectedSorted := make([]int, 0, len(affected))
+	for rhs := range affected {
+		affectedSorted = append(affectedSorted, rhs)
+	}
+	sort.Ints(affectedSorted)
+	var removedAll []fdset.AttrSet
+	for _, rhs := range affectedSorted {
+		removedAll = append(removedAll, removedBy[rhs]...)
+	}
+	if len(removedAll) > 0 {
+		candidates := inc.aliveSubsetsOf(removedAll)
+		for _, rhs := range affectedSorted {
+			for _, t := range candidates {
+				if !t.Has(rhs) && subsetOfAny(t, removedBy[rhs]) {
+					inc.ncover.Readmit(rhs, t)
+				}
+			}
+		}
+	}
+	for _, rhs := range affectedSorted {
+		if inc.seeded[rhs] && inc.ncover.Tree(rhs).Size() == 0 {
+			inc.ncover.Readmit(rhs, fdset.EmptySet())
+		}
+	}
+
+	// 5. Positive cover: rebuild affected RHSs (disjoint trees, so the
+	// pool shards race-free); invert pending admissions everywhere else.
+	if len(affectedSorted) > 0 {
+		pl.Do(len(affectedSorted), func(k int) {
+			rhs := affectedSorted[k]
+			inc.pcover.Rebuild(rhs, inc.ncover.Tree(rhs).Sets())
+		})
+	}
+	stats.PatchedRHS = len(affectedSorted)
+	forward := make([]fdset.FD, 0, len(pending))
+	for f := range pending {
+		if !affected[f.RHS] {
+			forward = append(forward, f)
+		}
+	}
+	fdset.SortFDs(forward)
+	inc.pcover.InvertAllPool(forward, pl)
 }
 
 // FDs returns the current approximate set of minimal non-trivial FDs.
@@ -141,13 +539,15 @@ func (inc *Incremental) FDs() *fdset.Set {
 	return inc.pcover.FDs()
 }
 
-// Snapshot returns an encoded view of every row absorbed so far, for
-// read-only consumers such as the AFD scorer (fdserve's /afds endpoint).
-// The snapshot shares the encoder's label storage — rows already encoded
-// are never mutated, and a later Append only writes beyond the
-// snapshot's length — so it stays valid and immutable even if more
-// batches are appended afterwards. It must not be taken concurrently
-// with a running AppendContext.
+// Snapshot returns an encoded view of the alive rows, for read-only
+// consumers such as the AFD scorer (fdserve's /afds endpoint). While the
+// relation has only ever grown, the snapshot shares the encoder's label
+// storage (appends only write beyond its length); once deletes or updates
+// have happened it is an independent densified copy, so either way it
+// stays valid and immutable across later batches. Snapshot.RowIDs carries
+// the stable external ids, which is what lets PartitionCache.AdvancedTo
+// align two snapshots of the same session. It must not be taken
+// concurrently with a running batch.
 func (inc *Incremental) Snapshot() *preprocess.Encoded {
 	return inc.encoder.Snapshot(inc.name)
 }

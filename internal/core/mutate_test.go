@@ -1,0 +1,510 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eulerfd/internal/dataset"
+	"eulerfd/internal/fdset"
+	"eulerfd/internal/naive"
+)
+
+// mutationModel mirrors an Incremental's relation in plain slices so tests
+// can hand the final state to the brute-force oracle.
+type mutationModel struct {
+	attrs  []string
+	rows   [][]string
+	ids    []int64
+	nextID int64
+}
+
+func (m *mutationModel) append(rows [][]string) {
+	for _, row := range rows {
+		m.rows = append(m.rows, row)
+		m.ids = append(m.ids, m.nextID)
+		m.nextID++
+	}
+}
+
+func (m *mutationModel) delete(id int64) {
+	for i, x := range m.ids {
+		if x == id {
+			m.rows = append(m.rows[:i], m.rows[i+1:]...)
+			m.ids = append(m.ids[:i], m.ids[i+1:]...)
+			return
+		}
+	}
+}
+
+func (m *mutationModel) update(id int64, row []string) {
+	for i, x := range m.ids {
+		if x == id {
+			m.rows[i] = row
+			return
+		}
+	}
+}
+
+func (m *mutationModel) relation(t *testing.T) *dataset.Relation {
+	t.Helper()
+	return dataset.MustNew("t", m.attrs, m.rows)
+}
+
+func randomRow(r *rand.Rand, cols, domain int) []string {
+	row := make([]string, cols)
+	for j := range row {
+		row[j] = string(rune('a' + r.Intn(domain)))
+	}
+	return row
+}
+
+// randomBatch builds one mutation batch against the model, applying it to
+// the model as it goes so id references stay valid, including references
+// to rows appended earlier in the same batch.
+func randomBatch(r *rand.Rand, m *mutationModel, domain int) MutationBatch {
+	var batch MutationBatch
+	ops := 1 + r.Intn(3)
+	for o := 0; o < ops; o++ {
+		switch k := r.Intn(3); {
+		case k == 0 || len(m.ids) < 3:
+			n := 1 + r.Intn(4)
+			rows := make([][]string, n)
+			for i := range rows {
+				rows[i] = randomRow(r, len(m.attrs), domain)
+			}
+			batch.Mutations = append(batch.Mutations, AppendOp(rows))
+			m.append(rows)
+		case k == 1:
+			n := 1 + r.Intn(2)
+			var ids []int64
+			for i := 0; i < n && len(m.ids) > 2; i++ {
+				id := m.ids[r.Intn(len(m.ids))]
+				ids = append(ids, id)
+				m.delete(id)
+			}
+			if len(ids) > 0 {
+				batch.Mutations = append(batch.Mutations, DeleteOp(ids...))
+			}
+		default:
+			id := m.ids[r.Intn(len(m.ids))]
+			row := randomRow(r, len(m.attrs), domain)
+			batch.Mutations = append(batch.Mutations, UpdateOp([]int64{id}, [][]string{row}))
+			m.update(id, row)
+		}
+	}
+	return batch
+}
+
+// TestApplyExhaustiveMatchesFresh is the correctness anchor of incremental
+// maintenance: under exhaustive windows, any sequence of append, delete,
+// and update batches must leave exactly the minimal cover of the final
+// relation — the result of fresh exhaustive discovery, which equals the
+// brute-force oracle.
+func TestApplyExhaustiveMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(271))
+	for iter := 0; iter < 20; iter++ {
+		cols := 2 + r.Intn(5)
+		domain := 1 + r.Intn(4)
+		m := &mutationModel{attrs: make([]string, cols)}
+		for i := range m.attrs {
+			m.attrs[i] = string(rune('A' + i))
+		}
+		inc, err := NewIncremental("t", m.attrs, exhaustiveOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := make([][]string, 6+r.Intn(20))
+		for i := range base {
+			base[i] = randomRow(r, cols, domain)
+		}
+		m.append(base)
+		if _, err := inc.Append(base); err != nil {
+			t.Fatal(err)
+		}
+		batches := 2 + r.Intn(4)
+		for bi := 0; bi < batches; bi++ {
+			batch := randomBatch(r, m, domain)
+			if _, err := inc.Apply(batch); err != nil {
+				t.Fatalf("iter %d batch %d: %v", iter, bi, err)
+			}
+			got := inc.FDs()
+			want := naive.Discover(m.relation(t))
+			if !got.Equal(want) {
+				t.Fatalf("iter %d batch %d (%d rows):\ngot  %v\nwant %v",
+					iter, bi, len(m.rows), got.Slice(), want.Slice())
+			}
+			if inc.NumRows() != len(m.rows) {
+				t.Fatalf("iter %d batch %d: %d rows, model has %d", iter, bi, inc.NumRows(), len(m.rows))
+			}
+		}
+		if inc.Version() != int64(batches+1) {
+			t.Errorf("iter %d: version %d after %d batches", iter, inc.Version(), batches+1)
+		}
+	}
+}
+
+// TestApplyCompactionPreservesExactness drives the tombstone share over an
+// aggressive compaction threshold and checks results stay exact across the
+// spine rebuild (ids must survive and stay addressable).
+func TestApplyCompactionPreservesExactness(t *testing.T) {
+	r := rand.New(rand.NewSource(277))
+	opt := exhaustiveOptions()
+	opt.CompactFraction = 0.1
+	opt.CompactMinRows = 8
+	m := &mutationModel{attrs: []string{"A", "B", "C"}}
+	inc, err := NewIncremental("t", m.attrs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := make([][]string, 30)
+	for i := range base {
+		base[i] = randomRow(r, 3, 3)
+	}
+	m.append(base)
+	if _, err := inc.Append(base); err != nil {
+		t.Fatal(err)
+	}
+	for bi := 0; bi < 6; bi++ {
+		// Delete two rows, update one, append one — churn that keeps
+		// crossing the 10% tombstone threshold.
+		ids := []int64{m.ids[r.Intn(len(m.ids))]}
+		m.delete(ids[0])
+		id2 := m.ids[r.Intn(len(m.ids))]
+		ids = append(ids, id2)
+		m.delete(id2)
+		up := m.ids[r.Intn(len(m.ids))]
+		upRow := randomRow(r, 3, 3)
+		m.update(up, upRow)
+		ap := randomRow(r, 3, 3)
+		m.append([][]string{ap})
+		batch := MutationBatch{Mutations: []Mutation{
+			DeleteOp(ids...),
+			UpdateOp([]int64{up}, [][]string{upRow}),
+			AppendOp([][]string{ap}),
+		}}
+		if _, err := inc.Apply(batch); err != nil {
+			t.Fatalf("batch %d: %v", bi, err)
+		}
+		got, want := inc.FDs(), naive.Discover(m.relation(t))
+		if !got.Equal(want) {
+			t.Fatalf("batch %d:\ngot  %v\nwant %v", bi, got.Slice(), want.Slice())
+		}
+	}
+	if inc.encoderCompactions() == 0 {
+		t.Error("compaction never triggered despite aggressive thresholds")
+	}
+}
+
+// encoderCompactions exposes the compaction counter to tests.
+func (inc *Incremental) encoderCompactions() int { return inc.encoder.Compactions }
+
+// TestApplyDeterministicAcrossWorkers replays one mutation sequence under
+// several worker counts: the resulting covers must be identical (the
+// delta scan is sequential and every parallel cover stage merges
+// deterministically).
+func TestApplyDeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) *fdset.Set {
+		r := rand.New(rand.NewSource(283))
+		m := &mutationModel{attrs: []string{"A", "B", "C", "D"}}
+		opt := exhaustiveOptions()
+		opt.Workers = workers
+		inc, err := NewIncremental("t", m.attrs, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := make([][]string, 40)
+		for i := range base {
+			base[i] = randomRow(r, 4, 3)
+		}
+		m.append(base)
+		if _, err := inc.Append(base); err != nil {
+			t.Fatal(err)
+		}
+		for bi := 0; bi < 5; bi++ {
+			if _, err := inc.Apply(randomBatch(r, m, 3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return inc.FDs()
+	}
+	want := build(1)
+	for _, workers := range []int{2, 4, 7} {
+		if got := build(workers); !got.Equal(want) {
+			t.Fatalf("workers=%d diverged:\ngot  %v\nwant %v", workers, got.Slice(), want.Slice())
+		}
+	}
+}
+
+// TestApplySameBatchAddressing appends rows and deletes/updates them by
+// their predicted ids within the same batch.
+func TestApplySameBatchAddressing(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append([][]string{{"x", "1"}, {"y", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	// Ids 0,1 exist; the batch appends ids 2,3, rewrites 3, deletes 2.
+	batch := MutationBatch{Mutations: []Mutation{
+		AppendOp([][]string{{"z", "3"}, {"w", "4"}}),
+		UpdateOp([]int64{3}, [][]string{{"w", "5"}}),
+		DeleteOp(2),
+	}}
+	if _, err := inc.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	rel := dataset.MustNew("t", []string{"A", "B"},
+		[][]string{{"x", "1"}, {"y", "2"}, {"w", "5"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Slice(), want.Slice())
+	}
+	if inc.NextID() != 4 {
+		t.Errorf("NextID = %d, want 4", inc.NextID())
+	}
+	// The deleted predicted id must not be addressable afterwards.
+	if _, err := inc.Delete([]int64{2}); err == nil {
+		t.Fatal("deleting an already-deleted row succeeded")
+	}
+}
+
+// TestApplyBadIDsRollBack exercises MutationError cases; each failure must
+// leave the Incremental at its previous version with its result intact.
+func TestApplyBadIDsRollBack(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append([][]string{{"x", "1"}, {"y", "2"}, {"z", "3"}}); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.FDs()
+	version := inc.Version()
+	cases := []MutationBatch{
+		{Mutations: []Mutation{DeleteOp(99)}},                              // unknown id
+		{Mutations: []Mutation{DeleteOp(0), DeleteOp(0)}},                  // double delete
+		{Mutations: []Mutation{AppendOp([][]string{{"q", "7"}}), DeleteOp(0), DeleteOp(99)}}, // partial batch fails late
+		{Mutations: []Mutation{UpdateOp([]int64{50}, [][]string{{"a", "b"}})}},
+		{Mutations: []Mutation{{Op: "upsert"}}},                            // unknown op
+		{Mutations: []Mutation{{Op: OpAppend, Rows: [][]string{{"only-one-cell"}}}}}, // width
+	}
+	for i, batch := range cases {
+		_, err := inc.Apply(batch)
+		if err == nil {
+			t.Fatalf("case %d: bad batch accepted", i)
+		}
+		var merr *MutationError
+		if !errors.As(err, &merr) {
+			t.Fatalf("case %d: error %T is not *MutationError: %v", i, err, err)
+		}
+		if inc.Version() != version {
+			t.Fatalf("case %d: version moved to %d", i, inc.Version())
+		}
+		if !inc.FDs().Equal(before) {
+			t.Fatalf("case %d: result changed after failed batch", i)
+		}
+	}
+	// The relation must still accept a good batch and stay exact.
+	if _, err := inc.Delete([]int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	rel := dataset.MustNew("t", []string{"A", "B"}, [][]string{{"x", "1"}, {"z", "3"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Slice(), want.Slice())
+	}
+}
+
+// TestApplyCancelRollsBack cancels a delta batch from its "sampled"
+// progress snapshot — after the full scan, at the last checkpoint before
+// the commit — and checks the session state rolls back to the committed
+// version, then accepts and exactly applies a retry.
+func TestApplyCancelRollsBack(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B", "C"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := [][]string{{"x", "1", "p"}, {"y", "2", "q"}, {"x", "3", "q"}, {"z", "1", "p"}}
+	if _, err := inc.Append(base); err != nil {
+		t.Fatal(err)
+	}
+	before := inc.FDs()
+	batch := MutationBatch{Mutations: []Mutation{
+		DeleteOp(1),
+		AppendOp([][]string{{"w", "4", "r"}}),
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = inc.ApplyContext(ctx, batch, func(p Progress) {
+		if p.Phase == "sampled" {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inc.Version() != 1 || inc.Poisoned() {
+		t.Fatalf("cancelled delta batch moved state: version=%d poisoned=%v", inc.Version(), inc.Poisoned())
+	}
+	if !inc.FDs().Equal(before) {
+		t.Fatal("cancelled delta batch changed the result")
+	}
+	// Retrying the identical batch must commit and be exact.
+	if _, err := inc.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	rel := dataset.MustNew("t", []string{"A", "B", "C"},
+		[][]string{{"x", "1", "p"}, {"x", "3", "q"}, {"z", "1", "p"}, {"w", "4", "r"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Slice(), want.Slice())
+	}
+}
+
+// TestApplyCancelledBootstrapPoisons cancels the first batch mid-run: the
+// Incremental must refuse all further work with ErrPoisoned.
+func TestApplyCancelledBootstrapPoisons(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = inc.AppendContext(ctx, [][]string{{"x", "1"}, {"y", "2"}, {"x", "2"}}, func(p Progress) {
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !inc.Poisoned() {
+		t.Fatal("cancelled bootstrap did not poison")
+	}
+	if _, err := inc.Append([][]string{{"z", "3"}}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poisoned bootstrap: %v, want ErrPoisoned", err)
+	}
+	if _, err := inc.Delete([]int64{0}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("delete after poisoned bootstrap: %v, want ErrPoisoned", err)
+	}
+}
+
+// TestApplyConstantColumnCollapse deletes until a column becomes constant
+// (∅ → A must appear) and updates it back to varying (it must vanish).
+func TestApplyConstantColumnCollapse(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append([][]string{{"x", "1"}, {"x", "2"}, {"y", "3"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Delete([]int64{2}); err != nil { // drops the only "y"
+		t.Fatal(err)
+	}
+	rel := dataset.MustNew("t", []string{"A", "B"}, [][]string{{"x", "1"}, {"x", "2"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("after collapse: got %v want %v", got.Slice(), want.Slice())
+	}
+	if !inc.FDs().Contains(fdset.FD{LHS: fdset.EmptySet(), RHS: 0}) {
+		t.Fatalf("constant column not re-seeded: %v", inc.FDs().Slice())
+	}
+	if _, err := inc.Update(1, []string{"q", "2"}); err != nil { // varies again
+		t.Fatal(err)
+	}
+	rel = dataset.MustNew("t", []string{"A", "B"}, [][]string{{"x", "1"}, {"q", "2"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("after flip back: got %v want %v", got.Slice(), want.Slice())
+	}
+}
+
+// TestApplyDeleteToEmpty deletes every row: all columns are vacuously
+// constant, so the cover must be exactly {∅ → A} per attribute, matching
+// fresh discovery of an empty relation.
+func TestApplyDeleteToEmpty(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A", "B"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append([][]string{{"x", "1"}, {"y", "2"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Delete([]int64{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.NumRows() != 0 {
+		t.Fatalf("rows = %d", inc.NumRows())
+	}
+	want := fdset.NewSet()
+	want.Add(fdset.FD{LHS: fdset.EmptySet(), RHS: 0})
+	want.Add(fdset.FD{LHS: fdset.EmptySet(), RHS: 1})
+	if got := inc.FDs(); !got.Equal(want) {
+		t.Fatalf("got %v want %v", got.Slice(), want.Slice())
+	}
+	// And rows can come back.
+	if _, err := inc.Append([][]string{{"a", "9"}, {"b", "9"}}); err != nil {
+		t.Fatal(err)
+	}
+	rel := dataset.MustNew("t", []string{"A", "B"}, [][]string{{"a", "9"}, {"b", "9"}})
+	if got, want := inc.FDs(), naive.Discover(rel); !got.Equal(want) {
+		t.Fatalf("after refill: got %v want %v", got.Slice(), want.Slice())
+	}
+}
+
+// TestApplyFirstBatchRules checks the bootstrap-path contract of
+// ApplyContext: append-only batches bootstrap, anything else is rejected.
+func TestApplyFirstBatchRules(t *testing.T) {
+	inc, err := NewIncremental("t", []string{"A"}, exhaustiveOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Apply(MutationBatch{Mutations: []Mutation{DeleteOp(0)}}); err == nil {
+		t.Fatal("delete before bootstrap accepted")
+	}
+	if inc.Version() != 0 {
+		t.Fatalf("version = %d", inc.Version())
+	}
+	stats, err := inc.Apply(MutationBatch{Mutations: []Mutation{
+		AppendOp([][]string{{"x"}}), AppendOp([][]string{{"y"}}),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 2 || inc.Version() != 1 {
+		t.Fatalf("rows=%d version=%d", stats.Rows, inc.Version())
+	}
+}
+
+// TestOptionsValidateMutationKnobs covers the new compaction and delta
+// knobs' legal ranges and typed errors.
+func TestOptionsValidateMutationKnobs(t *testing.T) {
+	cases := []struct {
+		name  string
+		mut   func(*Options)
+		field string
+	}{
+		{"CompactFractionNegative", func(o *Options) { o.CompactFraction = -0.5 }, "CompactFraction"},
+		{"CompactFractionOverOne", func(o *Options) { o.CompactFraction = 1.5 }, "CompactFraction"},
+		{"CompactMinRowsNegative", func(o *Options) { o.CompactMinRows = -1 }, "CompactMinRows"},
+		{"DeltaChunkPairsNegative", func(o *Options) { o.DeltaChunkPairs = -8 }, "DeltaChunkPairs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := DefaultOptions()
+			tc.mut(&o)
+			err := o.Validate()
+			var oerr *OptionError
+			if !errors.As(err, &oerr) {
+				t.Fatalf("error %T is not *OptionError: %v", err, err)
+			}
+			if oerr.Field != tc.field {
+				t.Fatalf("field %q, want %q", oerr.Field, tc.field)
+			}
+		})
+	}
+	good := DefaultOptions()
+	good.CompactFraction = 0.5
+	good.CompactMinRows = 64
+	good.DeltaChunkPairs = 1024
+	if err := good.Validate(); err != nil {
+		t.Fatalf("legal knobs rejected: %v", err)
+	}
+}

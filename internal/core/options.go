@@ -56,5 +56,14 @@ func (o Options) Validate() error {
 	if o.Ensemble < 0 {
 		return &OptionError{Field: "Ensemble", Value: o.Ensemble, Reason: "member count must be ≥ 0 (0 means single-run discovery)"}
 	}
+	if math.IsNaN(o.CompactFraction) || o.CompactFraction < 0 || o.CompactFraction > 1 {
+		return &OptionError{Field: "CompactFraction", Value: o.CompactFraction, Reason: "tombstone share must be in [0, 1] (0 selects the default)"}
+	}
+	if o.CompactMinRows < 0 {
+		return &OptionError{Field: "CompactMinRows", Value: o.CompactMinRows, Reason: "row floor must be ≥ 0 (0 selects the default)"}
+	}
+	if o.DeltaChunkPairs < 0 {
+		return &OptionError{Field: "DeltaChunkPairs", Value: o.DeltaChunkPairs, Reason: "chunk size must be ≥ 0 (0 selects the default)"}
+	}
 	return nil
 }

@@ -204,6 +204,19 @@ type Sampler struct {
 	dynamicRanges bool
 	maxRecentCapa float64
 
+	// witW/wit, when non-nil, accumulate witness tallies per agree set in
+	// (pair × shared attribute) units: every swept pair occurrence adds one
+	// count to its agree set. A pair agreeing on k attributes lies in
+	// exactly k single-attribute clusters and each cluster sweeps each of
+	// its pairs exactly once across the window cycle, so an exhaustive run
+	// leaves witness[S] = |S| · #pairs-with-agree-set-S — the same unit the
+	// incremental delta scan adds or subtracts as popcount(agree) per pair.
+	// Non-exhaustive runs leave partial (never over-counted) tallies; the
+	// word/wide split mirrors seenW/seen. Nil disables witnessing entirely,
+	// keeping one-shot discovery free of the bookkeeping.
+	witW map[uint64]int64
+	wit  map[fdset.AttrSet]int64
+
 	// pool, when non-nil, parallelizes large window sweeps: the pair range
 	// of a pass is cut into chunks dispatched to the persistent workers,
 	// which fill per-chunk scratch buffers; the coordinator then merges the
@@ -234,6 +247,13 @@ type passChunk struct {
 	sets     []fdset.AttrSet
 	counts   []int32
 	uniq     []int32 // indices into words/sets of first-in-chunk occurrences
+	// Witness aggregation scratch: run-grouped (mask, add) pairs covering
+	// every pair of the chunk — unlike uniq, duplicates count. Filled by the
+	// worker, merged by the coordinator; addition commutes, so merge order
+	// cannot change the tallies.
+	wkeys []uint64
+	wsets []fdset.AttrSet
+	wadds []int32
 }
 
 // Chunking constants of the parallel pass: sweeps shorter than
@@ -272,6 +292,31 @@ func NewSampler(enc *preprocess.Encoded, numQueues, recentLen int) *Sampler {
 // SetPool attaches a worker pool for parallel pass execution. A nil pool
 // (or never calling SetPool) keeps the exact sequential path.
 func (s *Sampler) SetPool(p *pool.Pool) { s.pool = p }
+
+// SetWitness attaches witness tallies the sweeps maintain; pass the map
+// matching the relation's width (words for ≤ 64 columns, sets otherwise —
+// the same split as the dedup tables). core.Incremental hands its
+// long-lived maps here during bootstrap so deletes can later decrement
+// the same tallies.
+func (s *Sampler) SetWitness(words map[uint64]int64, sets map[fdset.AttrSet]int64) {
+	s.witW, s.wit = words, sets
+}
+
+// addWitnessRunsWord folds a batch of agree masks into the witness table,
+// one map operation per run of identical consecutive masks.
+func addWitnessRunsWord(m map[uint64]int64, words []uint64) {
+	for i := 0; i < len(words); {
+		w := words[i]
+		j := i + 1
+		for j < len(words) && words[j] == w {
+			j++
+		}
+		if w != 0 {
+			m[w] += int64(j - i)
+		}
+		i = j
+	}
+}
 
 // SeenCount returns the number of distinct agree sets sampled so far,
 // whichever dedup table is active.
@@ -423,6 +468,9 @@ func (s *Sampler) sweepWord(c *clusterState, n int, found *[]fdset.AttrSet) {
 		}
 		words := s.words[:m]
 		s.enc.AgreeWindowWords(c.rows, c.window, c.pos, c.pos+m, words)
+		if s.witW != nil {
+			addWitnessRunsWord(s.witW, words)
+		}
 		for i := 0; i < m; i++ {
 			w := words[i]
 			if i > 0 && w == words[i-1] {
@@ -447,6 +495,9 @@ func (s *Sampler) sweepWide(c *clusterState, n int, found *[]fdset.AttrSet) {
 	for k := 0; k < n; k++ {
 		i, j := c.rows[c.pos], c.rows[c.pos+c.window-1]
 		agree := s.enc.AgreeSet(int(i), int(j))
+		if s.wit != nil && !agree.IsEmpty() {
+			s.wit[agree]++
+		}
 		if _, dup := s.seen[agree]; !dup {
 			s.seen[agree] = struct{}{}
 			*found = append(*found, agree)
@@ -516,6 +567,24 @@ func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdse
 					ch.uniq = append(ch.uniq, int32(i))
 				}
 			}
+			if s.witW != nil {
+				// Witness tallies count every pair, not just chunk-unique
+				// masks, so they aggregate run-grouped into private scratch
+				// regardless of the dedup above.
+				ch.wkeys, ch.wadds = ch.wkeys[:0], ch.wadds[:0]
+				for i := 0; i < m; {
+					w := ch.words[i]
+					j := i + 1
+					for j < m && ch.words[j] == w {
+						j++
+					}
+					if w != 0 {
+						ch.wkeys = append(ch.wkeys, w)
+						ch.wadds = append(ch.wadds, int32(j-i))
+					}
+					i = j
+				}
+			}
 		})
 		for k := 0; k < numChunks; k++ {
 			ch := &s.chunks[k]
@@ -525,6 +594,11 @@ func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdse
 					s.seenW[w] = struct{}{}
 					*found = append(*found, fdset.FromWord(w))
 					c.passNew += ncols - bits.OnesCount64(w)
+				}
+			}
+			if s.witW != nil {
+				for x, w := range ch.wkeys {
+					s.witW[w] += int64(ch.wadds[x])
 				}
 			}
 		}
@@ -558,6 +632,21 @@ func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdse
 					ch.uniq = append(ch.uniq, int32(i))
 				}
 			}
+			if s.wit != nil {
+				ch.wsets, ch.wadds = ch.wsets[:0], ch.wadds[:0]
+				for i := 0; i < m; {
+					set := ch.sets[i]
+					j := i + 1
+					for j < m && ch.sets[j] == set {
+						j++
+					}
+					if !set.IsEmpty() {
+						ch.wsets = append(ch.wsets, set)
+						ch.wadds = append(ch.wadds, int32(j-i))
+					}
+					i = j
+				}
+			}
 		})
 		for k := 0; k < numChunks; k++ {
 			ch := &s.chunks[k]
@@ -567,6 +656,11 @@ func (s *Sampler) samplePassParallel(c *clusterState, n, last int, found *[]fdse
 					s.seen[set] = struct{}{}
 					*found = append(*found, set)
 					c.passNew += ncols - int(ch.counts[i])
+				}
+			}
+			if s.wit != nil {
+				for x, set := range ch.wsets {
+					s.wit[set] += int64(ch.wadds[x])
 				}
 			}
 		}

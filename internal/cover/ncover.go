@@ -111,6 +111,35 @@ func (n *NCover) AddTrackedBatch(nonFDs []fdset.FD, p *pool.Pool) (added int, ev
 	return added, events
 }
 
+// RemoveLHS removes the stored maximal non-FD lhs ↛ rhs, reporting
+// whether it was present. Incremental maintenance calls it when the last
+// witness of a maximal non-FD dies (core.Incremental delete/update): the
+// set is no longer evidenced and must leave the cover before the affected
+// region is re-inverted.
+func (n *NCover) RemoveLHS(rhs int, lhs fdset.AttrSet) bool {
+	if !n.trees[rhs].Remove(lhs) {
+		return false
+	}
+	n.size--
+	return true
+}
+
+// Readmit re-admits a still-witnessed non-FD after retirements freed its
+// region: it is stored unless a stored superset already covers it. Unlike
+// AddTracked it never removes subsets — callers admit candidates in
+// descending cardinality, and a candidate that is a subset of a removed
+// maximal set cannot strictly contain any surviving stored set (the cover
+// is an antichain), so there is nothing to supersede.
+func (n *NCover) Readmit(rhs int, lhs fdset.AttrSet) bool {
+	t := n.trees[rhs]
+	if t.ContainsSuperset(lhs) {
+		return false
+	}
+	t.Add(lhs)
+	n.size++
+	return true
+}
+
 // AddAll inserts a batch of non-FDs sorted in decreasing LHS length (the
 // order Algorithm 2 prescribes to minimize tree modifications) and returns
 // the number that changed the cover.

@@ -192,6 +192,24 @@ func (p *PCover) InvertAllPool(nonFDs []fdset.FD, pl *pool.Pool) int {
 	return added
 }
 
+// Rebuild re-derives the per-RHS candidate tree from scratch: reset to
+// the most general candidate ∅ and invert every given non-FD LHS. It is
+// the retirement patch of incremental maintenance — when deletes retire
+// non-FDs, inversion cannot run backwards (candidates destroyed by the
+// retired set must reappear), so the affected RHS re-inverts from the
+// patched negative cover while every other RHS tree is untouched. The
+// result is independent of the order of nonFDs (the cover is determined
+// by the set of inverted non-FDs), and touching only trees[rhs] makes
+// Rebuild safe to run for distinct RHS values concurrently.
+func (p *PCover) Rebuild(rhs int, nonFDs []fdset.AttrSet) {
+	t := NewTree(p.trees[rhs].rank)
+	t.Add(fdset.EmptySet())
+	p.trees[rhs] = t
+	for _, lhs := range nonFDs {
+		p.Invert(fdset.FD{LHS: lhs, RHS: rhs})
+	}
+}
+
 // FDs returns the candidate set as minimal, non-trivial FDs. Candidates
 // whose LHS covers every other attribute are kept: a key is a valid LHS.
 func (p *PCover) FDs() *fdset.Set {

@@ -2,16 +2,63 @@ package preprocess
 
 import (
 	"fmt"
+	"math/bits"
+	"sort"
+
+	"eulerfd/internal/fdset"
+)
+
+// Compaction defaults: the dead-row spine is rebuilt once tombstones
+// reach DefaultCompactFraction of the slots and the relation is at least
+// DefaultCompactMinRows slots tall. Below the floor the spine is so small
+// that compaction overhead beats any locality gain.
+const (
+	DefaultCompactFraction = 0.25
+	DefaultCompactMinRows  = 1024
 )
 
 // Encoder label-encodes rows incrementally, retaining per-column
 // dictionaries so that appended batches map equal values to equal labels.
 // It backs incremental discovery (core.Incremental): appending rows never
 // relabels existing ones, so previously observed non-FDs stay valid.
+//
+// Deletes and updates are tombstone-based: a deleted row keeps its slot
+// (flagged dead) until bounded compaction rebuilds the spine, so slots
+// held by concurrent readers of an older Snapshot stay meaningful and
+// delete cost is O(1). Every row carries a stable external id, assigned
+// monotonically at append time; ids survive compaction and are the handle
+// mutations address rows by.
 type Encoder struct {
 	attrs  []string
 	dicts  []map[string]int32
-	labels [][]int32
+	labels [][]int32 // slot-major; dead slots keep stale labels until compaction
+	ids    []int64   // parallel to labels; strictly ascending external ids
+	dead   []bool    // parallel tombstones
+	nextID int64
+
+	deadRows int
+	// counts[c][l] is how many alive rows carry label l in column c;
+	// distinct[c] counts labels with a positive count. distinct drives the
+	// ∅-seed (a column is constant while distinct ≤ 1) and snapshot label
+	// densification, so deletes can flip a column back to constant.
+	counts   [][]int32
+	distinct []int
+
+	// mutated is set by the first Delete/Replace since the spine was last
+	// dense: labels may contain unused dictionary entries and dead slots,
+	// so Snapshot must densify instead of sharing. A full compaction
+	// restores density and clears it.
+	mutated bool
+	// sharedSpine marks that some snapshot shares the labels outer slice;
+	// Replace must clone the outer header before its first element write
+	// so the shared snapshot keeps observing the pre-mutation rows.
+	sharedSpine bool
+
+	compactFraction float64
+	compactMinRows  int
+
+	// Compactions counts spine rebuilds, for stats and tests.
+	Compactions int
 }
 
 // NewEncoder prepares an encoder for the given schema.
@@ -20,7 +67,44 @@ func NewEncoder(attrs []string) *Encoder {
 	for i := range dicts {
 		dicts[i] = make(map[string]int32)
 	}
-	return &Encoder{attrs: attrs, dicts: dicts}
+	return &Encoder{
+		attrs:           attrs,
+		dicts:           dicts,
+		counts:          make([][]int32, len(attrs)),
+		distinct:        make([]int, len(attrs)),
+		compactFraction: DefaultCompactFraction,
+		compactMinRows:  DefaultCompactMinRows,
+	}
+}
+
+// SetCompaction overrides the compaction policy: the spine is rebuilt
+// when tombstones exceed fraction of the slots and the spine holds at
+// least minRows slots. Non-positive arguments keep the package defaults.
+func (e *Encoder) SetCompaction(fraction float64, minRows int) {
+	if fraction > 0 {
+		e.compactFraction = fraction
+	}
+	if minRows > 0 {
+		e.compactMinRows = minRows
+	}
+}
+
+// bump adjusts the alive-occurrence count of label l in column c by d
+// (±1), maintaining the distinct-label tally.
+func (e *Encoder) bump(c int, l int32, d int32) {
+	cs := e.counts[c]
+	for int(l) >= len(cs) {
+		cs = append(cs, 0)
+	}
+	e.counts[c] = cs
+	was := cs[l]
+	cs[l] = was + d
+	switch {
+	case was == 0 && d > 0:
+		e.distinct[c]++
+	case was+d == 0 && was > 0:
+		e.distinct[c]--
+	}
 }
 
 // Append encodes a batch of rows. Every row must match the schema width.
@@ -40,31 +124,392 @@ func (e *Encoder) Append(rows [][]string) error {
 			}
 			encoded[c] = label
 		}
-		e.labels = append(e.labels, encoded)
+		e.AppendEncoded(encoded)
 	}
 	return nil
 }
 
-// NumRows returns the number of rows encoded so far.
-func (e *Encoder) NumRows() int { return len(e.labels) }
+// AppendEncoded appends one already-encoded row (labels must be valid in
+// the current dictionaries — callers encode through Append or a committed
+// Staging) and returns its stable external id.
+func (e *Encoder) AppendEncoded(row []int32) int64 {
+	id := e.nextID
+	e.nextID++
+	e.labels = append(e.labels, row)
+	e.ids = append(e.ids, id)
+	e.dead = append(e.dead, false)
+	for c, l := range row {
+		e.bump(c, l, 1)
+	}
+	return id
+}
+
+// Lookup resolves an external row id to its current slot. ok is false for
+// ids never assigned or already deleted.
+func (e *Encoder) Lookup(id int64) (slot int, ok bool) {
+	i := sort.Search(len(e.ids), func(k int) bool { return e.ids[k] >= id })
+	if i == len(e.ids) || e.ids[i] != id || e.dead[i] {
+		return 0, false
+	}
+	return i, true
+}
+
+// Delete tombstones the row with the given id. It reports false when the
+// id is unknown or already dead. The slot is reclaimed by MaybeCompact.
+func (e *Encoder) Delete(id int64) bool {
+	slot, ok := e.Lookup(id)
+	if !ok {
+		return false
+	}
+	for c, l := range e.labels[slot] {
+		e.bump(c, l, -1)
+	}
+	e.dead[slot] = true
+	e.deadRows++
+	e.mutated = true
+	return true
+}
+
+// Replace swaps the content of the row with the given id for the encoded
+// row (labels must be valid in the current dictionaries). The row keeps
+// its id and slot. It reports false when the id is unknown or dead.
+func (e *Encoder) Replace(id int64, row []int32) bool {
+	slot, ok := e.Lookup(id)
+	if !ok {
+		return false
+	}
+	for c, l := range e.labels[slot] {
+		e.bump(c, l, -1)
+	}
+	if e.sharedSpine {
+		// A snapshot shares the outer labels slice; writing an element in
+		// the shared prefix would mutate the snapshot's view of this row.
+		e.labels = append([][]int32(nil), e.labels...)
+		e.sharedSpine = false
+	}
+	e.labels[slot] = row
+	for c, l := range row {
+		e.bump(c, l, 1)
+	}
+	e.mutated = true
+	return true
+}
+
+// NumRows returns the number of alive rows.
+func (e *Encoder) NumRows() int { return len(e.labels) - e.deadRows }
+
+// NumSlots returns the spine height including tombstoned slots.
+func (e *Encoder) NumSlots() int { return len(e.labels) }
+
+// DeadRows returns the current tombstone count.
+func (e *Encoder) DeadRows() int { return e.deadRows }
+
+// NextID returns the id the next appended row will receive.
+func (e *Encoder) NextID() int64 { return e.nextID }
+
+// Alive reports whether the slot holds a live row.
+func (e *Encoder) Alive(slot int) bool { return !e.dead[slot] }
+
+// RowLabels returns the encoded labels of a slot. Callers must not
+// mutate the returned slice.
+func (e *Encoder) RowLabels(slot int) []int32 { return e.labels[slot] }
+
+// IDAt returns the external id of a slot.
+func (e *Encoder) IDAt(slot int) int64 { return e.ids[slot] }
+
+// AliveDistinct returns the number of distinct values among alive rows in
+// column c — the cardinality the ∅-seed decision must use once rows can
+// die (a dictionary only ever grows, so its size overcounts).
+func (e *Encoder) AliveDistinct(c int) int { return e.distinct[c] }
+
+// AliveSlots appends every live slot index to buf (reusing its capacity)
+// and returns it, in ascending slot order.
+func (e *Encoder) AliveSlots(buf []int32) []int32 {
+	buf = buf[:0]
+	for slot := range e.labels {
+		if !e.dead[slot] {
+			buf = append(buf, int32(slot))
+		}
+	}
+	return buf
+}
+
+// AgreeSlotsWords computes, for every slot in slots, the agree mask of
+// (row, labels[slot]) into words — the ≤ 64-column delta kernel of
+// incremental maintenance: one staged or deleted row compared against the
+// alive slots, batched so bounds checks amortize and the row stays in
+// registers. words must have length ≥ len(slots). It performs no
+// allocation.
+//
+//fdlint:hotpath
+func (e *Encoder) AgreeSlotsWords(row []int32, slots []int32, words []uint64) {
+	for k, s := range slots {
+		words[k] = agreeWord(row, e.labels[s])
+	}
+}
+
+// AgreeSlotsInto is the wide-relation (> 64 columns) form of
+// AgreeSlotsWords: agree sets land in out and their cardinalities in
+// counts, both of length ≥ len(slots). It performs no allocation.
+//
+//fdlint:hotpath
+func (e *Encoder) AgreeSlotsInto(row []int32, slots []int32, out []fdset.AttrSet, counts []int32) {
+	for k, s := range slots {
+		set := agreeWide(row, e.labels[s])
+		out[k] = set
+		counts[k] = int32(set.Count())
+	}
+}
+
+// AgreeRowsWord returns the agree mask of two encoded rows of ≤ 64
+// columns (both rows must have equal width).
+//
+//fdlint:hotpath
+func AgreeRowsWord(a, b []int32) uint64 { return agreeWord(a, b) }
+
+// AgreeRowsSet returns the agree set of two encoded rows of any width,
+// along with its cardinality.
+//
+//fdlint:hotpath
+func AgreeRowsSet(a, b []int32) (fdset.AttrSet, int) {
+	if len(a) <= 64 {
+		w := agreeWord(a, b)
+		return fdset.FromWord(w), bits.OnesCount64(w)
+	}
+	s := agreeWide(a, b)
+	return s, s.Count()
+}
+
+// MaybeCompact rebuilds the spine when the tombstone share crosses the
+// configured threshold, reporting whether a compaction ran. Compaction
+// drops dead slots, densifies labels (dictionary entries that no alive
+// row carries are dropped and surviving labels renumbered by first
+// occurrence), and rebuilds the occurrence counts — after it the encoder
+// is exactly as if only the alive rows had ever been appended, except
+// that ids and nextID are preserved. Old snapshots are untouched: the
+// rebuild allocates fresh spines instead of editing shared ones.
+func (e *Encoder) MaybeCompact() bool {
+	if e.deadRows == 0 || len(e.labels) < e.compactMinRows {
+		return false
+	}
+	if float64(e.deadRows) < e.compactFraction*float64(len(e.labels)) {
+		return false
+	}
+	e.compact()
+	return true
+}
+
+// Compact forces a spine rebuild regardless of the tombstone share.
+func (e *Encoder) Compact() {
+	if e.deadRows == 0 && !e.mutated {
+		return
+	}
+	e.compact()
+}
+
+// dictEntry is compact's scratch pair for draining a column dictionary
+// into label order before the renumbering pass.
+type dictEntry struct {
+	value string
+	label int32
+}
+
+func (e *Encoder) compact() {
+	ncols := len(e.attrs)
+	n := len(e.labels) - e.deadRows
+	labels := make([][]int32, 0, n)
+	ids := make([]int64, 0, n)
+	flat := make([]int32, n*ncols)
+	// remap[c][old] is the densified label of old, assigned by first
+	// occurrence among alive rows so the result is deterministic.
+	remap := make([][]int32, ncols)
+	next := make([]int, ncols)
+	for c := range remap {
+		remap[c] = make([]int32, len(e.dicts[c]))
+		for i := range remap[c] {
+			remap[c][i] = -1
+		}
+	}
+	for slot, row := range e.labels {
+		if e.dead[slot] {
+			continue
+		}
+		out := flat[:ncols:ncols]
+		flat = flat[ncols:]
+		for c, l := range row {
+			m := remap[c][l]
+			if m < 0 {
+				m = int32(next[c])
+				remap[c][l] = m
+				next[c]++
+			}
+			out[c] = m
+		}
+		labels = append(labels, out)
+		ids = append(ids, e.ids[slot])
+	}
+	for c := range e.dicts {
+		ents := make([]dictEntry, 0, len(e.dicts[c]))
+		for v, l := range e.dicts[c] {
+			ents = append(ents, dictEntry{value: v, label: l})
+		}
+		sort.Slice(ents, func(i, j int) bool { return ents[i].label < ents[j].label })
+		nd := make(map[string]int32, next[c])
+		counts := make([]int32, next[c])
+		for _, en := range ents {
+			if m := remap[c][en.label]; m >= 0 {
+				nd[en.value] = m
+				counts[m] = e.counts[c][en.label]
+			}
+		}
+		e.dicts[c] = nd
+		e.counts[c] = counts
+		e.distinct[c] = next[c]
+	}
+	e.labels, e.ids = labels, ids
+	e.dead = make([]bool, n)
+	e.deadRows = 0
+	e.mutated = false
+	e.sharedSpine = false
+	e.Compactions++
+}
 
 // Snapshot materializes the current state as an Encoded relation,
-// rebuilding the stripped partitions. The labels slice is shared with the
-// encoder (rows already encoded are never mutated).
+// rebuilding the stripped partitions. While the encoder has never seen a
+// delete or update, the labels slice is shared with the encoder (rows
+// already encoded are never mutated and appends only write beyond the
+// snapshot's length, so the snapshot stays immutable). Once mutated, the
+// snapshot is an independent densified copy over the alive rows — labels
+// renumbered by first occurrence so NumLabels is again the exact distinct
+// count every consumer (∅-seed, RefineWith slot sizing, pdep baselines)
+// assumes.
 func (e *Encoder) Snapshot(name string) *Encoded {
+	ncols := len(e.attrs)
+	if !e.mutated {
+		enc := &Encoded{
+			Name:      name,
+			Attrs:     e.attrs,
+			NumRows:   len(e.labels),
+			Labels:    e.labels,
+			NumLabels: make([]int, ncols),
+			RowIDs:    e.ids,
+		}
+		for c := range e.attrs {
+			enc.NumLabels[c] = len(e.dicts[c])
+		}
+		enc.Partitions = make([]StrippedPartition, ncols)
+		for c := range e.attrs {
+			enc.Partitions[c] = enc.columnPartition(c)
+		}
+		e.sharedSpine = true
+		return enc
+	}
+
+	n := len(e.labels) - e.deadRows
+	labels := make([][]int32, 0, n)
+	ids := make([]int64, 0, n)
+	flat := make([]int32, n*ncols)
+	remap := make([][]int32, ncols)
+	numLabels := make([]int, ncols)
+	for c := range remap {
+		remap[c] = make([]int32, len(e.dicts[c]))
+		for i := range remap[c] {
+			remap[c][i] = -1
+		}
+	}
+	for slot, row := range e.labels {
+		if e.dead[slot] {
+			continue
+		}
+		out := flat[:ncols:ncols]
+		flat = flat[ncols:]
+		for c, l := range row {
+			m := remap[c][l]
+			if m < 0 {
+				m = int32(numLabels[c])
+				remap[c][l] = m
+				numLabels[c]++
+			}
+			out[c] = m
+		}
+		labels = append(labels, out)
+		ids = append(ids, e.ids[slot])
+	}
 	enc := &Encoded{
 		Name:      name,
 		Attrs:     e.attrs,
-		NumRows:   len(e.labels),
-		Labels:    e.labels,
-		NumLabels: make([]int, len(e.attrs)),
+		NumRows:   n,
+		Labels:    labels,
+		NumLabels: numLabels,
+		RowIDs:    ids,
 	}
-	for c := range e.attrs {
-		enc.NumLabels[c] = len(e.dicts[c])
-	}
-	enc.Partitions = make([]StrippedPartition, len(e.attrs))
+	enc.Partitions = make([]StrippedPartition, ncols)
 	for c := range e.attrs {
 		enc.Partitions[c] = enc.columnPartition(c)
 	}
 	return enc
+}
+
+// Staging is a per-batch dictionary overlay: rows of a mutation batch are
+// encoded against the committed dictionaries plus staged extensions, so a
+// cancelled batch leaves the dictionaries untouched (a permanently grown
+// dictionary would corrupt NumLabels on later snapshots). Commit merges
+// the staged values in staging order, making the tentative labels real.
+type Staging struct {
+	e    *Encoder
+	over []map[string]int32 // staged value → tentative label, per column
+	vals [][]string         // staged values per column, in label order
+}
+
+// NewStaging opens a dictionary overlay for one mutation batch. Only one
+// staging may be open at a time (the encoder's dictionaries must not grow
+// underneath it); core.Incremental serializes batches, which guarantees
+// that.
+func (e *Encoder) NewStaging() *Staging {
+	return &Staging{
+		e:    e,
+		over: make([]map[string]int32, len(e.attrs)),
+		vals: make([][]string, len(e.attrs)),
+	}
+}
+
+// EncodeRow encodes one row against the committed dictionaries plus the
+// overlay, staging labels for unseen values. The row must match the
+// schema width.
+func (st *Staging) EncodeRow(row []string) ([]int32, error) {
+	e := st.e
+	if len(row) != len(e.attrs) {
+		return nil, fmt.Errorf("preprocess: row has %d cells, schema has %d attributes", len(row), len(e.attrs))
+	}
+	enc := make([]int32, len(e.attrs))
+	for c, v := range row {
+		if l, ok := e.dicts[c][v]; ok {
+			enc[c] = l
+			continue
+		}
+		if st.over[c] == nil {
+			st.over[c] = make(map[string]int32)
+		}
+		if l, ok := st.over[c][v]; ok {
+			enc[c] = l
+			continue
+		}
+		l := int32(len(e.dicts[c]) + len(st.vals[c]))
+		st.over[c][v] = l
+		st.vals[c] = append(st.vals[c], v)
+		enc[c] = l
+	}
+	return enc, nil
+}
+
+// Commit merges the staged values into the encoder's dictionaries, in
+// staging order so every tentative label becomes its real value. The
+// staging must not be used afterwards.
+func (st *Staging) Commit() {
+	for c, vs := range st.vals {
+		for _, v := range vs {
+			st.e.dicts[c][v] = int32(len(st.e.dicts[c]))
+		}
+	}
+	st.over, st.vals = nil, nil
 }

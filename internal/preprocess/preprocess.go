@@ -35,6 +35,12 @@ type Encoded struct {
 	NumLabels []int
 	// Partitions[c] is the stripped partition of column c.
 	Partitions []StrippedPartition
+	// RowIDs, when non-nil, maps row index to the stable external row id
+	// assigned by the Encoder that produced this snapshot. Ids are strictly
+	// ascending, so two snapshots of the same encoder align by merge-join;
+	// PartitionCache.AdvancedTo uses that to patch cached partitions across
+	// mutations instead of recomputing them. One-shot Encode leaves it nil.
+	RowIDs []int64
 }
 
 // StrippedPartition is a partition with singleton equivalence classes

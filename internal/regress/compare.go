@@ -121,7 +121,55 @@ func Diff(base, cur *Baseline, th Thresholds) *DiffResult {
 	}
 	diffAFD(d, base.AFD, cur.AFD)
 	diffEnsemble(d, base.Ensemble, cur.Ensemble)
+	diffIncremental(d, base.Incremental, cur.Incremental)
 	return d
+}
+
+// diffIncremental exact-match gates the mutation-maintenance cell: the
+// maintained cover after the pinned append → delete → append sequence
+// must reproduce the baseline string for string.
+func diffIncremental(d *DiffResult, base, cur *IncrementalCell) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.Warnings = append(d.Warnings, Finding{
+			Dataset: cur.Dataset, Field: "incremental", Kind: "suite",
+			Note: "not in baseline (new incremental cell; re-record to start gating it)",
+		})
+		return
+	case cur == nil:
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: base.Dataset, Field: "incremental", Kind: "suite",
+			Note: "baseline incremental cell missing from current run",
+		})
+		return
+	}
+	if base.Dataset != cur.Dataset || base.Version != cur.Version || base.Rows != cur.Rows {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "incremental", Kind: "accuracy",
+			Note: fmt.Sprintf("incremental cell state changed: %s/v%d/%d rows → %s/v%d/%d rows",
+				base.Dataset, base.Version, base.Rows, cur.Dataset, cur.Version, cur.Rows),
+		})
+		return
+	}
+	if len(base.FDs) != len(cur.FDs) {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "incremental",
+			Base: float64(len(base.FDs)), Got: float64(len(cur.FDs)),
+			Kind: "accuracy", Note: "maintained cover size drift: deterministic patch changed",
+		})
+		return
+	}
+	for i := range base.FDs {
+		if base.FDs[i] != cur.FDs[i] {
+			d.Regressions = append(d.Regressions, Finding{
+				Dataset: cur.Dataset, Field: "incremental", Kind: "accuracy",
+				Note: fmt.Sprintf("maintained cover drift at %d: %q → %q", i, base.FDs[i], cur.FDs[i]),
+			})
+			return
+		}
+	}
 }
 
 // diffEnsemble exact-match gates the confidence-voting cell: every

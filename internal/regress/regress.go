@@ -132,6 +132,9 @@ type Baseline struct {
 	// Ensemble is the confidence-voting cell; omitted by baselines
 	// recorded before the ensemble engine existed (Diff then only warns).
 	Ensemble *EnsembleCell `json:"ensemble,omitempty"`
+	// Incremental is the mutation-maintenance cell; omitted by baselines
+	// recorded before the mutation log existed (Diff then only warns).
+	Incremental *IncrementalCell `json:"incremental,omitempty"`
 }
 
 // AFDCell is the approximate-FD regression cell: threshold discovery on
@@ -222,6 +225,61 @@ func runEnsembleCell() *EnsembleCell {
 	return cell
 }
 
+// IncrementalCell is the mutation-maintenance regression cell: one
+// fixed corpus driven through bootstrap → mixed batch (delete, update,
+// append) → final append, with the maintained cover rendered in
+// canonical order. Gated by exact match — the delta engine's scan is
+// sequential and its cover patch merges deterministically, so the cover
+// is bit-identical across runs, machines, and Workers values.
+type IncrementalCell struct {
+	Dataset string   `json:"dataset"`
+	Version int64    `json:"version"`
+	Rows    int      `json:"rows"`
+	FDs     []string `json:"fds"` // "lhs -> rhs" in canonical FD order
+}
+
+// incCellCorpus pins the incremental cell's input. bridges is small
+// enough to keep the cell sub-second yet wide and dirty enough that
+// deletes retire non-FD witnesses and updates flip agree sets.
+const incCellCorpus = "bridges"
+
+// runIncrementalCell measures the mutation-maintenance regression cell.
+func runIncrementalCell() *IncrementalCell {
+	d, err := datasets.ByName(incCellCorpus)
+	if err != nil {
+		panic(err) // registry name is a compile-time constant here
+	}
+	rel := d.Build()
+	inc, err := core.NewIncremental(rel.Name, rel.Attrs, core.DefaultOptions())
+	if err != nil {
+		panic(fmt.Sprintf("regress: incremental cell failed: %v", err))
+	}
+	// Bootstrap on roughly the first two thirds, then one mixed batch
+	// (delete scattered ids, rewrite one row, append half the holdout),
+	// then append the rest — the append → delete → append shape.
+	cut1 := len(rel.Rows) * 2 / 3
+	cut2 := cut1 + (len(rel.Rows)-cut1)/2
+	if _, err := inc.Append(rel.Rows[:cut1]); err != nil {
+		panic(fmt.Sprintf("regress: incremental cell failed: %v", err))
+	}
+	mixed := core.MutationBatch{Mutations: []core.Mutation{
+		core.DeleteOp(3, 17, int64(cut1-1)),
+		core.UpdateOp([]int64{7}, [][]string{rel.Rows[cut1]}),
+		core.AppendOp(rel.Rows[cut1:cut2]),
+	}}
+	if _, err := inc.Apply(mixed); err != nil {
+		panic(fmt.Sprintf("regress: incremental cell failed: %v", err))
+	}
+	if _, err := inc.Append(rel.Rows[cut2:]); err != nil {
+		panic(fmt.Sprintf("regress: incremental cell failed: %v", err))
+	}
+	cell := &IncrementalCell{Dataset: incCellCorpus, Version: inc.Version(), Rows: inc.NumRows()}
+	for _, f := range inc.FDs().Slice() {
+		cell.FDs = append(cell.FDs, f.Format(rel.Attrs))
+	}
+	return cell
+}
+
 // Config controls a suite run.
 type Config struct {
 	// Runs is how many timed EulerFD executions feed each perf median.
@@ -276,6 +334,11 @@ func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
 	if w != nil {
 		fmt.Fprintf(w, "ensemble:%-15s members=%d seed=%d candidates=%d\n",
 			b.Ensemble.Dataset, b.Ensemble.Members, b.Ensemble.Seed, len(b.Ensemble.FDs))
+	}
+	b.Incremental = runIncrementalCell()
+	if w != nil {
+		fmt.Fprintf(w, "incremental:%-12s version=%d rows=%d fds=%d\n",
+			b.Incremental.Dataset, b.Incremental.Version, b.Incremental.Rows, len(b.Incremental.FDs))
 	}
 	return b
 }

@@ -161,7 +161,7 @@ func TestAFDsBeforeResult(t *testing.T) {
 	}
 }
 
-func TestAFDsScorerInvalidatedByAppend(t *testing.T) {
+func TestAFDsScorerAdvancedByAppend(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	id := readySession(t, ts.URL)
 	if code, _, _ := getAFDs(t, ts.URL, id, "?eps=0"); code != http.StatusOK {
@@ -176,7 +176,8 @@ func TestAFDsScorerInvalidatedByAppend(t *testing.T) {
 	if before == nil {
 		t.Fatal("scorer not cached after query")
 	}
-	// Append rows; the completed job must drop the cached scorer.
+	// Append rows; the completed job must advance the cached scorer onto
+	// the grown snapshot instead of leaving it on the stale one.
 	code, blob := doReq(t, "POST", ts.URL+"/v1/sessions/"+id+"/append", patientBatch)
 	if code != http.StatusAccepted {
 		t.Fatalf("append: status %d: %s", code, blob)
@@ -185,10 +186,10 @@ func TestAFDsScorerInvalidatedByAppend(t *testing.T) {
 	sess.mu.Lock()
 	after := sess.scorer
 	sess.mu.Unlock()
-	if after != nil {
-		t.Fatal("scorer survived an append without invalidation")
+	if after == before {
+		t.Fatal("scorer not advanced after append")
 	}
-	// And a fresh query sees the grown relation.
+	// And a query answers over the grown relation.
 	if code, doc, _ := getAFDs(t, ts.URL, id, "?eps=0"); code != http.StatusOK || doc.Count == 0 {
 		t.Errorf("post-append afds: status %d, count %d", code, doc.Count)
 	}

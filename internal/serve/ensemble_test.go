@@ -78,7 +78,7 @@ func TestEnsembleQuerySingleMemberMatchesFDs(t *testing.T) {
 	srv.mu.Lock()
 	sess := srv.sessions[sub.Session]
 	srv.mu.Unlock()
-	fds, _, _, _ := sess.snapshotResult()
+	fds, _, _, _, _ := sess.snapshotResult()
 	if len(doc.FDs) != fds.Len() {
 		t.Fatalf("N=1 ensemble has %d candidates, session result %d FDs", len(doc.FDs), fds.Len())
 	}

@@ -1,12 +1,17 @@
 // Package serve implements fdserve, an embeddable HTTP service for FD
 // discovery. It manages a bounded store of discovery sessions, each
 // holding one dataset's core.Incremental state: submitting a CSV starts
-// a discovery job, appending row batches re-discovers incrementally,
-// and query endpoints (FDs, stats, closure, keys) answer against the
-// last completed result. Per-cycle progress is pollable as JSON and
+// a discovery job, and the mutation-log endpoint applies batches of
+// appends, deletes, and row updates that maintain the cover
+// incrementally. Every committed batch advances a monotone session
+// version echoed in every result document; readers pass ?min_version=
+// to detect stale reads (412 until the version commits). Query
+// endpoints (FDs, stats, closure, keys) answer against the last
+// committed result. Per-cycle progress is pollable as JSON and
 // streamable as server-sent events; jobs honor cancellation and
-// deadlines cooperatively at cycle boundaries, and Drain lets a host
-// shut down gracefully without abandoning in-flight work.
+// deadlines cooperatively at cycle boundaries — a cancelled delta batch
+// rolls the session back to its last committed version — and Drain
+// lets a host shut down gracefully without abandoning in-flight work.
 //
 // The package is fdlint-gated: it never reads wall-clock time, session
 // and job IDs are small deterministic counters, and listings are sorted
@@ -16,6 +21,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -105,6 +111,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/mutations", s.handleMutations)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/append", s.handleAppend)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/fds", s.handleFDs)
@@ -229,7 +236,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
-	jobID, status, msg := s.startJob(r.Context(), sess, rel.Rows)
+	rows := rel.Rows
+	jobID, version, status, msg := s.startJob(r.Context(), sess, func(ctx context.Context, obs func(core.Progress)) (core.Stats, error) {
+		return sess.inc.AppendContext(ctx, rows, obs)
+	})
 	if status != 0 {
 		// The freshly created session cannot have a job in flight; only
 		// a drain begun between the two locks can land here.
@@ -239,14 +249,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, msg)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID})
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID, Version: version})
 }
 
+// handleAppend is the deprecated append-only batch endpoint. It remains
+// a thin alias for a single-append mutation batch and advertises its
+// successor via the Deprecation and Link response headers.
 func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.getSession(w, r)
 	if !ok {
 		return
 	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("</v1/sessions/%s/mutations>; rel=\"successor-version\"", sess.id))
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	rel, err := parseCSVBody(r, sess.name, false)
 	if err != nil {
@@ -261,25 +276,71 @@ func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("batch has %d columns, session has %d", len(rel.Attrs), ncols))
 		return
 	}
-	jobID, status, msg := s.startJob(r.Context(), sess, rel.Rows)
+	rows := rel.Rows
+	jobID, version, status, msg := s.startJob(r.Context(), sess, func(ctx context.Context, obs func(core.Progress)) (core.Stats, error) {
+		return sess.inc.AppendContext(ctx, rows, obs)
+	})
 	if status != 0 {
 		writeError(w, status, msg)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID})
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID, Version: version})
 }
 
-// startJob enqueues one discovery run on sess. It returns the job id on
-// success, or a non-zero HTTP status and message on refusal. The job
-// must outlive the submitting request (the handler answers 202 before
-// the run finishes), so the request context is detached from
-// cancellation, not replaced: values ride along, and the job's own
-// timeout or the session DELETE cancel it (I5).
-func (s *Server) startJob(ctx context.Context, sess *session, rows [][]string) (string, int, string) {
+// handleMutations applies one versioned mutation batch — a JSON
+// core.MutationBatch of append, delete, and update operations — as a
+// single atomic discovery job. The 202 ack echoes the committed version
+// the batch was accepted on top of; the job's done event (and every
+// later result document) carries the post-commit version. Shape errors
+// are rejected synchronously with 400; id resolution errors surface as
+// a failed job that rolls the session back to its committed state.
+func (s *Server) handleMutations(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	var batch core.MutationBatch
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "parse mutation batch: "+err.Error())
+		return
+	}
+	sess.mu.Lock()
+	ncols := len(sess.attrs)
+	sess.mu.Unlock()
+	if err := batch.Validate(ncols); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	jobID, version, status, msg := s.startJob(r.Context(), sess, func(ctx context.Context, obs func(core.Progress)) (core.Stats, error) {
+		return sess.inc.ApplyContext(ctx, batch, obs)
+	})
+	if status != 0 {
+		writeError(w, status, msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitDoc{Session: sess.id, Job: jobID, Version: version})
+}
+
+// jobRun is one discovery run's body: an AppendContext or ApplyContext
+// call with the inputs already bound. runJob owns the context and the
+// progress observer.
+type jobRun func(ctx context.Context, obs func(core.Progress)) (core.Stats, error)
+
+// startJob enqueues one discovery run on sess. It returns the job id
+// and the committed version the run was accepted on top of, or a
+// non-zero HTTP status and message on refusal. The job must outlive the
+// submitting request (the handler answers 202 before the run finishes),
+// so the request context is detached from cancellation, not replaced:
+// values ride along, and the job's own timeout or the session DELETE
+// cancel it (I5).
+func (s *Server) startJob(ctx context.Context, sess *session, run jobRun) (string, int64, int, string) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		return "", http.StatusServiceUnavailable, "server is draining"
+		return "", 0, http.StatusServiceUnavailable, "server is draining"
 	}
 	s.nextJob++
 	id := fmt.Sprintf("j%d", s.nextJob)
@@ -289,13 +350,13 @@ func (s *Server) startJob(ctx context.Context, sess *session, rows [][]string) (
 	switch sess.state {
 	case stateQueued, stateRunning:
 		sess.mu.Unlock()
-		return "", http.StatusConflict, "a job is already in flight on this session"
+		return "", 0, http.StatusConflict, "a job is already in flight on this session"
 	case stateCancelled:
 		sess.mu.Unlock()
-		return "", http.StatusConflict, "session is cancelled; its result no longer reflects a completed run"
+		return "", 0, http.StatusConflict, "session is cancelled; its result no longer reflects a completed run"
 	case stateFailed:
 		sess.mu.Unlock()
-		return "", http.StatusConflict, "session has failed; delete it and resubmit"
+		return "", 0, http.StatusConflict, "session has failed; delete it and resubmit"
 	}
 	ctx = context.WithoutCancel(ctx)
 	var cancel context.CancelFunc
@@ -308,18 +369,19 @@ func (s *Server) startJob(ctx context.Context, sess *session, rows [][]string) (
 	sess.current = jb
 	sess.state = stateQueued
 	sess.cancel = cancel
+	version := sess.version
 	sess.mu.Unlock()
 
 	s.wg.Add(1)
-	go s.runJob(sess, jb, rows, ctx, cancel)
-	return id, 0, ""
+	go s.runJob(sess, jb, run, ctx, cancel)
+	return id, version, 0, ""
 }
 
 // runJob executes one discovery job: wait for a concurrency slot, run
-// the incremental append under the job context, record the outcome.
-// Exactly one runJob touches sess.inc at a time — startJob refuses to
-// stack jobs — so inc is accessed outside sess.mu.
-func (s *Server) runJob(sess *session, jb *job, rows [][]string, ctx context.Context, cancel context.CancelFunc) {
+// the batch under the job context, record the outcome. Exactly one
+// runJob touches sess.inc at a time — startJob refuses to stack jobs —
+// so inc is accessed outside sess.mu.
+func (s *Server) runJob(sess *session, jb *job, run jobRun, ctx context.Context, cancel context.CancelFunc) {
 	defer s.wg.Done()
 	defer cancel()
 
@@ -341,40 +403,61 @@ func (s *Server) runJob(sess *session, jb *job, rows [][]string, ctx context.Con
 			time.Sleep(s.cfg.CycleDelay)
 		}
 	}
-	stats, err := sess.inc.AppendContext(ctx, rows, obs)
+	stats, err := run(ctx, obs)
 	s.finishJob(sess, jb, stats, err)
 }
 
-// finishJob records a job's terminal state and publishes the done event.
+// finishJob records a job's outcome and publishes the done event. A
+// committed batch advances the session version and every cached result;
+// a cancelled or failed delta batch rolled back inside the Incremental
+// (nothing was committed), so the session returns to ready at its
+// previous version. Only a cancelled or failed bootstrap — no committed
+// result to fall back to, and a cancelled first run poisons the
+// Incremental — parks the session in a terminal state.
 func (s *Server) finishJob(sess *session, jb *job, stats core.Stats, err error) {
 	sess.mu.Lock()
 	var done doneDoc
-	switch {
-	case err == nil:
+	if err == nil {
 		sess.state = stateReady
 		sess.fds = sess.inc.FDs()
 		sess.stats = stats
 		sess.rows = sess.inc.NumRows()
+		sess.version = sess.inc.Version()
 		sess.appends = sess.inc.Appends
+		sess.deletes = sess.inc.Deletes
+		sess.updates = sess.inc.Updates
+		sess.nextID = sess.inc.NextID()
 		jb.code = http.StatusOK
-	case errors.Is(err, context.Canceled):
-		sess.state = stateCancelled
-		jb.code = StatusClientClosedRequest
+		// Advance the AFD scorer onto the committed snapshot instead of
+		// discarding its partition cache; if none was built yet, the next
+		// /afds query builds one lazily.
+		if sess.scorer != nil {
+			sess.scorer = sess.scorer.Advanced(sess.inc.Snapshot(), sess.inc.LastChangedIDs())
+		}
+	} else {
 		jb.err = err.Error()
-	case errors.Is(err, context.DeadlineExceeded):
-		sess.state = stateFailed
-		jb.code = http.StatusGatewayTimeout
-		jb.err = err.Error()
-	default:
-		sess.state = stateFailed
-		jb.code = http.StatusBadRequest
-		jb.err = err.Error()
+		switch {
+		case errors.Is(err, context.Canceled):
+			jb.code = StatusClientClosedRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			jb.code = http.StatusGatewayTimeout
+		default:
+			jb.code = http.StatusBadRequest
+		}
+		if sess.fds != nil && !sess.inc.Poisoned() {
+			// Delta rollback: the last committed result still stands and
+			// the scorer still describes it.
+			sess.state = stateReady
+		} else if errors.Is(err, context.Canceled) {
+			sess.state = stateCancelled
+			sess.scorer = nil
+		} else {
+			sess.state = stateFailed
+			sess.scorer = nil
+		}
 	}
 	sess.cancel = nil
-	// Any terminal transition invalidates the AFD scorer: on success the
-	// relation grew, and cancelled/failed sessions stop answering.
-	sess.scorer = nil
-	done = doneDoc{Job: jb.id, State: sess.state, Code: jb.code, Error: jb.err}
+	done = doneDoc{Job: jb.id, State: sess.state, Code: jb.code, Error: jb.err, Version: sess.version}
 	sess.mu.Unlock()
 	sess.publish(event{name: "done", data: done})
 }
@@ -436,6 +519,32 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// minVersionOK enforces the ?min_version= read barrier shared by /fds,
+// /afds, and /stats: a client that just committed version N asks for
+// min_version=N and gets 412 Precondition Failed (with the current
+// version in the body) instead of a silently stale answer if it reached
+// a replica — or a rolled-back session — that has not caught up.
+func minVersionOK(w http.ResponseWriter, r *http.Request, sess *session) bool {
+	v := r.URL.Query().Get("min_version")
+	if v == "" {
+		return true
+	}
+	min, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || min < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("min_version must be a non-negative integer, got %q", v))
+		return false
+	}
+	cur, ok := sess.versionAtLeast(min)
+	if !ok {
+		writeJSON(w, http.StatusPreconditionFailed, errorDoc{
+			Error:   fmt.Sprintf("session is at version %d, below requested min_version %d", cur, min),
+			Version: cur,
+		})
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.getSession(w, r)
 	if !ok {
@@ -445,7 +554,10 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 		s.handleEnsembleFDs(w, r, sess)
 		return
 	}
-	fds, attrs, _, ready := sess.snapshotResult()
+	if !minVersionOK(w, r, sess) {
+		return
+	}
+	fds, attrs, _, version, ready := sess.snapshotResult()
 	if !ready {
 		writeError(w, http.StatusConflict, "no completed result yet")
 		return
@@ -455,7 +567,7 @@ func (s *Server) handleFDs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, fdsDoc{Attrs: attrs, Count: fds.Len(), FDs: blob})
+	writeJSON(w, http.StatusOK, fdsDoc{Attrs: attrs, Version: version, Count: fds.Len(), FDs: blob})
 }
 
 // maxEnsembleMembers caps the ?ensemble= member count: each member is a
@@ -580,6 +692,9 @@ func (s *Server) handleAFDs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "eps (threshold mode) and k (top-k mode) are mutually exclusive")
 		return
 	}
+	if !minVersionOK(w, r, sess) {
+		return
+	}
 	scorer, ready := sess.afdScorer(0)
 	if !ready {
 		writeError(w, http.StatusConflict, "no completed result yet")
@@ -593,7 +708,7 @@ func (s *Server) handleAFDs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, fmt.Sprintf("k must be a positive integer, got %q", kStr))
 			return
 		}
-		fds, _, _, _ := sess.snapshotResult()
+		fds, _, _, _, _ := sess.snapshotResult()
 		doc.Mode = "topk"
 		doc.K = k
 		scored, err = scorer.Rank(r.Context(), measure, fds.Slice(), k)
@@ -623,6 +738,7 @@ func (s *Server) handleAFDs(w http.ResponseWriter, r *http.Request) {
 	}
 	sess.mu.Lock()
 	doc.Attrs = sess.attrs
+	doc.Version = sess.version
 	sess.mu.Unlock()
 	if scored == nil {
 		scored = []fdset.ScoredFD{}
@@ -637,13 +753,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	if !minVersionOK(w, r, sess) {
+		return
+	}
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	if sess.fds == nil {
 		writeError(w, http.StatusConflict, "no completed result yet")
 		return
 	}
-	writeJSON(w, http.StatusOK, statsDoc{Rows: sess.rows, Appends: sess.appends, Stats: sess.stats})
+	writeJSON(w, http.StatusOK, statsDoc{
+		Rows:    sess.rows,
+		Version: sess.version,
+		Appends: sess.appends,
+		Deletes: sess.deletes,
+		Updates: sess.updates,
+		NextID:  sess.nextID,
+		Stats:   sess.stats,
+	})
 }
 
 func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
@@ -676,7 +803,7 @@ func (s *Server) handleClosure(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	fds, attrs, ncols, ready := sess.snapshotResult()
+	fds, attrs, ncols, _, ready := sess.snapshotResult()
 	if !ready {
 		writeError(w, http.StatusConflict, "no completed result yet")
 		return
@@ -700,7 +827,7 @@ func (s *Server) handleKeys(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	fds, _, ncols, ready := sess.snapshotResult()
+	fds, _, ncols, _, ready := sess.snapshotResult()
 	if !ready {
 		writeError(w, http.StatusConflict, "no completed result yet")
 		return

@@ -12,13 +12,19 @@ import (
 
 // Session lifecycle states. The machine is documented in DESIGN.md:
 //
-//	queued → running → ready → (append) → queued → …
-//	queued|running → cancelled        (terminal, via POST cancel)
-//	queued|running → failed           (terminal, deadline or data error)
+//	queued → running → ready → (mutations|append) → queued → …
+//	queued|running → ready            (cancelled/failed DELTA batch: rollback)
+//	queued|running → cancelled        (terminal: cancelled BOOTSTRAP)
+//	queued|running → failed           (terminal: bootstrap deadline or data error)
 //
-// ready is the only state that accepts appends and result queries;
-// cancelled and failed are terminal because a cancelled append leaves
-// the Incremental's covers partially updated (see core.AppendContext).
+// ready is the only state that accepts new batches and result queries.
+// A delta batch (any job after the first committed run) scans against a
+// virtual overlay and commits atomically, so cancelling or failing one
+// rolls the session back to its last committed version and returns it
+// to ready — the job's done event records the non-200 code. Only the
+// bootstrap run mutates covers in place as it goes: cancelling it
+// poisons the Incremental (core.ErrPoisoned), so a cancelled or failed
+// first run is terminal and the session must be deleted.
 const (
 	stateQueued    = "queued"
 	stateRunning   = "running"
@@ -53,8 +59,12 @@ type session struct {
 	inc     *core.Incremental
 	fds     *fdset.Set         // last completed result, guarded by mu
 	stats   core.Stats         // stats of the last completed job, guarded by mu
-	rows    int                // rows absorbed by completed jobs, guarded by mu
-	appends int                // guarded by mu
+	rows    int                // alive rows after the last committed batch, guarded by mu
+	version int64              // committed mutation-log position, guarded by mu
+	appends int                // committed batches, guarded by mu
+	deletes int                // rows deleted by committed batches, guarded by mu
+	updates int                // rows rewritten by committed batches, guarded by mu
+	nextID  int64              // id the next appended row will get, guarded by mu
 	current *job               // most recent job, guarded by mu
 	cancel  context.CancelFunc // cancels the running job, guarded by mu
 	history []event            // guarded by mu
@@ -62,8 +72,10 @@ type session struct {
 
 	// scorer serves /afds queries over the last completed result. Built
 	// lazily from an Incremental snapshot and shared by concurrent
-	// requests (afd.Scorer is concurrency-safe); finishJob drops it so
-	// the next query rebuilds over the grown relation.
+	// requests (afd.Scorer is concurrency-safe). When a later batch
+	// commits, finishJob advances the existing scorer onto the new
+	// snapshot (afd.Scorer.Advanced patches cached partitions instead of
+	// discarding them); a rolled-back batch leaves it untouched.
 	scorer *afd.Scorer
 }
 
@@ -72,12 +84,13 @@ func (s *session) doc() sessionDoc {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d := sessionDoc{
-		ID:     s.id,
-		Name:   s.name,
-		Attrs:  s.attrs,
-		Rows:   s.rows,
-		State:  s.state,
-		Events: len(s.history),
+		ID:      s.id,
+		Name:    s.name,
+		Attrs:   s.attrs,
+		Rows:    s.rows,
+		State:   s.state,
+		Version: s.version,
+		Events:  len(s.history),
 	}
 	if s.fds != nil {
 		d.FDs = s.fds.Len()
@@ -159,13 +172,21 @@ func (s *session) snapshotEncoded() (*preprocess.Encoded, bool) {
 	return s.inc.Snapshot(), true
 }
 
-// snapshotResult returns the last completed result, or ok = false when
-// no job has completed yet.
-func (s *session) snapshotResult() (*fdset.Set, []string, int, bool) {
+// snapshotResult returns the last committed result and its version, or
+// ok = false when no job has completed yet.
+func (s *session) snapshotResult() (*fdset.Set, []string, int, int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fds == nil {
-		return nil, nil, 0, false
+		return nil, nil, 0, 0, false
 	}
-	return s.fds, s.attrs, len(s.attrs), true
+	return s.fds, s.attrs, len(s.attrs), s.version, true
+}
+
+// versionAtLeast reports whether the committed version has reached min.
+// It returns the current version for the 412 error body.
+func (s *session) versionAtLeast(min int64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version, s.version >= min
 }

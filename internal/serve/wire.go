@@ -13,9 +13,13 @@ import (
 // terminal code.
 const StatusClientClosedRequest = 499
 
-// errorDoc is the JSON body of every non-2xx response.
+// errorDoc is the JSON body of every non-2xx response. Version is set
+// only on 412 Precondition Failed answers to ?min_version= reads, where
+// it reports the session's current committed version so the client can
+// tell how stale it is.
 type errorDoc struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	Version int64  `json:"version,omitempty"`
 }
 
 // jobDoc describes one discovery job on the wire.
@@ -28,31 +32,42 @@ type jobDoc struct {
 	Error string `json:"error,omitempty"`
 }
 
-// sessionDoc describes one session on the wire.
+// sessionDoc describes one session on the wire. Version is the
+// session's committed mutation-log position: 0 until the first job
+// completes, then incremented by exactly one per committed batch.
 type sessionDoc struct {
-	ID     string   `json:"id"`
-	Name   string   `json:"name"`
-	Attrs  []string `json:"attrs"`
-	Rows   int      `json:"rows"`
-	State  string   `json:"state"`
-	FDs    int      `json:"fds"`
-	Events int      `json:"events"`
-	Job    *jobDoc  `json:"job,omitempty"`
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Attrs   []string `json:"attrs"`
+	Rows    int      `json:"rows"`
+	State   string   `json:"state"`
+	Version int64    `json:"version"`
+	FDs     int      `json:"fds"`
+	Events  int      `json:"events"`
+	Job     *jobDoc  `json:"job,omitempty"`
 }
 
-// submitDoc acknowledges a new session or append: the job is accepted
-// but not necessarily finished.
+// submitDoc acknowledges a new session, append, or mutation batch: the
+// job is accepted but not necessarily finished. Version is the
+// committed version the batch was accepted on top of; once the job's
+// done event reports version+1, the batch is committed.
 type submitDoc struct {
 	Session string `json:"session"`
 	Job     string `json:"job"`
+	Version int64  `json:"version"`
 }
 
-// doneDoc is the terminal event of a job's progress stream.
+// doneDoc is the terminal event of a job's progress stream. Version is
+// the session's committed version after the job: a job that commits
+// reports the predecessor's version + 1; a cancelled or failed delta
+// batch rolls back and reports the unchanged predecessor version with
+// State "ready" and a non-200 Code.
 type doneDoc struct {
-	Job   string `json:"job"`
-	State string `json:"state"`
-	Code  int    `json:"code"`
-	Error string `json:"error,omitempty"`
+	Job     string `json:"job"`
+	State   string `json:"state"`
+	Code    int    `json:"code"`
+	Error   string `json:"error,omitempty"`
+	Version int64  `json:"version"`
 }
 
 // progressDoc answers the polling endpoint: the latest snapshot plus the
@@ -66,10 +81,12 @@ type progressDoc struct {
 
 // fdsDoc carries a discovered FD set. FDs serialize as
 // {"lhs":[indices],"rhs":index}; Attrs resolves indices to names.
+// Version stamps which committed state the cover describes.
 type fdsDoc struct {
-	Attrs []string        `json:"attrs"`
-	Count int             `json:"count"`
-	FDs   json.RawMessage `json:"fds"`
+	Attrs   []string        `json:"attrs"`
+	Version int64           `json:"version"`
+	Count   int             `json:"count"`
+	FDs     json.RawMessage `json:"fds"`
 }
 
 // afdsDoc answers an approximate-FD query. FDs serialize as
@@ -78,6 +95,7 @@ type fdsDoc struct {
 // them best-error-first with k echoed back.
 type afdsDoc struct {
 	Attrs   []string         `json:"attrs"`
+	Version int64            `json:"version"`
 	Measure string           `json:"measure"`
 	Mode    string           `json:"mode"`
 	Epsilon float64          `json:"eps,omitempty"`
@@ -120,10 +138,17 @@ type ensembleProgressDoc struct {
 	Total     int `json:"total"`
 }
 
-// statsDoc carries the statistics of the last completed job.
+// statsDoc carries the statistics of the last completed job plus the
+// session's cumulative mutation counters. NextID is the row id the next
+// appended row will receive — clients address deletes and updates by
+// these ids.
 type statsDoc struct {
 	Rows    int        `json:"rows"`
+	Version int64      `json:"version"`
 	Appends int        `json:"appends"`
+	Deletes int        `json:"deletes"`
+	Updates int        `json:"updates"`
+	NextID  int64      `json:"next_id"`
 	Stats   core.Stats `json:"stats"`
 }
 

@@ -1,0 +1,91 @@
+package eulerfd
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestMutationWireShape pins the stable JSON tags of the mutation wire
+// types: op/rows/ids on Mutation, mutations on MutationBatch, with
+// empty fields omitted.
+func TestMutationWireShape(t *testing.T) {
+	batch := MutationBatch{Mutations: []Mutation{
+		AppendRows([][]string{{"x", "1"}, {"y", "2"}}),
+		DeleteRows(0, 7),
+		UpdateRows([]int64{3}, [][]string{{"z", "9"}}),
+	}}
+	blob, err := json.Marshal(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"mutations":[` +
+		`{"op":"append","rows":[["x","1"],["y","2"]]},` +
+		`{"op":"delete","ids":[0,7]},` +
+		`{"op":"update","rows":[["z","9"]],"ids":[3]}]}`
+	if string(blob) != want {
+		t.Fatalf("wire shape drifted:\ngot  %s\nwant %s", blob, want)
+	}
+	var back MutationBatch
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, batch) {
+		t.Fatalf("round trip lost data:\ngot  %+v\nwant %+v", back, batch)
+	}
+	if OpAppend != "append" || OpDelete != "delete" || OpUpdate != "update" {
+		t.Fatalf("op vocabulary drifted: %q %q %q", OpAppend, OpDelete, OpUpdate)
+	}
+}
+
+// TestMutationPublicAPI drives deletes and updates through the root
+// package and checks the maintained cover is exact.
+func TestMutationPublicAPI(t *testing.T) {
+	rel := patientRelation(t)
+	inc, err := NewIncremental(rel.Name, rel.Attrs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Append(rel.Rows); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Version() != 1 {
+		t.Fatalf("version after bootstrap = %d", inc.Version())
+	}
+	batch := MutationBatch{Mutations: []Mutation{
+		DeleteRows(8), // Taylor
+		UpdateRows([]int64{1}, [][]string{{"Jack", "33", "Low", "Male", "drugC"}}),
+		AppendRows([][]string{{"Zoe", "33", "High", "Female", "drugA"}}),
+	}}
+	if _, err := inc.Apply(batch); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Version() != 2 || inc.NumRows() != 9 || inc.NextID() != 10 {
+		t.Fatalf("bookkeeping wrong: version=%d rows=%d nextID=%d",
+			inc.Version(), inc.NumRows(), inc.NextID())
+	}
+	rows := append([][]string{}, rel.Rows[:8]...) // drop Taylor
+	rows[1] = []string{"Jack", "33", "Low", "Male", "drugC"}
+	rows = append(rows, []string{"Zoe", "33", "High", "Female", "drugA"})
+	final, err := NewRelation("patient", rel.Attrs, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Evaluate(inc.FDs(), exact); acc.F1 != 1 {
+		t.Fatalf("maintained cover not exact after mutations: F1 = %v", acc.F1)
+	}
+	// The dedicated wrappers work too.
+	if _, err := inc.Delete([]int64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Update(2, []string{"Nancy", "29", "Normal", "Female", "drugX"}); err != nil {
+		t.Fatal(err)
+	}
+	if inc.Version() != 4 {
+		t.Fatalf("version = %d, want 4", inc.Version())
+	}
+}
