@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels bench-ensemble bench-incremental regress regress-record serve-smoke
+.PHONY: check build vet lint lint-sarif test race bench-smoke bench-sampling bench-afd bench-kernels bench-ensemble bench-incremental bench-quality regress regress-record serve-smoke
 
 check: build vet lint race regress
 
@@ -64,6 +64,11 @@ bench-ensemble:
 # batches through the mutation log vs full rediscovery per batch).
 bench-incremental:
 	$(GO) run ./cmd/fdbench -incremental-json BENCH_incremental.json
+
+# Regenerates the committed data-quality report benchmark (the full
+# Analyze pipeline: ranking, violations, repairs, normalization).
+bench-quality:
+	$(GO) run ./cmd/fdbench -quality-json BENCH_quality.json
 
 # Regression gate: runs the canonical suite and diffs against the
 # committed BASELINE.json. Accuracy is exact-match gated; wall times are

@@ -14,6 +14,7 @@
 //	fdbench -kernels-json BENCH_kernels.json  # hot-path kernel micro-bench
 //	fdbench -ensemble-json BENCH_ensemble.json  # confidence-voting bench
 //	fdbench -incremental-json BENCH_incremental.json  # delta vs rediscovery bench
+//	fdbench -quality-json BENCH_quality.json  # data-quality report bench
 //	fdbench -exp sampling -cpuprofile cpu.out -memprofile mem.out
 //	                                        # profile any run with go tool pprof
 package main
@@ -45,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	kernelsJSONPath := fs.String("kernels-json", "", "run the kernel micro-benchmark and write its report to this JSON file")
 	ensembleJSONPath := fs.String("ensemble-json", "", "run the ensemble voting benchmark and write its report to this JSON file")
 	incrementalJSONPath := fs.String("incremental-json", "", "run the incremental maintenance benchmark and write its report to this JSON file")
+	qualityJSONPath := fs.String("quality-json", "", "run the data-quality report benchmark and write its report to this JSON file")
 	seed := fs.Uint64("seed", 0, "base seed of the ensemble benchmark")
 	runs := fs.Int("runs", 0, "AFD/ensemble benchmark repetitions per cell (0 = default)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -59,7 +61,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" && *kernelsJSONPath == "" && *ensembleJSONPath == "" && *incrementalJSONPath == "" {
+	if *exp == "" && *jsonPath == "" && *afdJSONPath == "" && *kernelsJSONPath == "" && *ensembleJSONPath == "" && *incrementalJSONPath == "" && *qualityJSONPath == "" {
 		fmt.Fprintln(stderr, "usage: fdbench -exp <id>|all  (see -list)")
 		return 2
 	}
@@ -119,6 +121,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exit(1)
 		}
 		fmt.Fprintf(stdout, "wrote %s\n", *incrementalJSONPath)
+	}
+	if *qualityJSONPath != "" {
+		if err := bench.RunQualityToFile(stdout, *runs, *qualityJSONPath); err != nil {
+			fmt.Fprintln(stderr, "fdbench:", err)
+			return exit(1)
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *qualityJSONPath)
 	}
 	if *exp == "" {
 		return exit(0)

@@ -24,6 +24,12 @@
 //
 //	-ensemble 5                        vote N seeded EulerFD runs, report confidences
 //	-seed 42                           base seed (also perturbs a single euler run)
+//
+// Quality mode (-quality selects it):
+//
+//	-quality                           data-quality report: redundancy ranking,
+//	                                   violations, repairs, normalization advice
+//	-topk 5                            how many ranked dependencies to analyze
 package main
 
 import (
@@ -89,12 +95,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	eps := fs.Float64("eps", 0.05, "approximate threshold mode: error budget in [0, 1]")
 	topk := fs.Int("topk", 0, "approximate top-k mode: number of best-scoring FDs (0 = threshold mode)")
 	ensembleN := fs.Int("ensemble", 0, "ensemble mode: vote this many seeded EulerFD runs (0 = single run)")
+	qualityMode := fs.Bool("quality", false, "quality mode: discover the cover, then report redundancy ranking, violations, repairs, and normalization advice")
 	seed := fs.Uint64("seed", 0, "EulerFD sampling-schedule seed (0 = canonical schedule); ensemble members derive from it")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	// Any approx flag switches the command into approximate mode.
-	approx := *measure != "" || *topk > 0
+	// Any approx flag switches the command into approximate mode
+	// (-topk doubles as the quality ranking bound under -quality).
+	approx := *measure != "" || (*topk > 0 && !*qualityMode)
 	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "eps" {
 			approx = true
@@ -123,6 +131,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if approx && *ensembleN > 0 {
 		fmt.Fprintln(stderr, "fddiscover: -ensemble cannot be combined with approximate-mode flags")
 		return 2
+	}
+	if *qualityMode {
+		if approx || *ensembleN > 0 {
+			fmt.Fprintln(stderr, "fddiscover: -quality cannot be combined with approximate- or ensemble-mode flags")
+			return 2
+		}
+		eopt := eulerfd.DefaultOptions()
+		eopt.ThNcover, eopt.ThPcover = *th, *th
+		eopt.NumQueues = *queues
+		eopt.ExhaustWindows = *exhaustive
+		eopt.Workers = *workers
+		eopt.Seed = *seed
+		qopt := eulerfd.DefaultQualityOptions()
+		if *topk > 0 {
+			qopt.TopK = *topk
+		}
+		return runQuality(rel, eopt, qopt, *asJSON, *stats, stdout, stderr)
 	}
 	if approx {
 		return runApprox(rel, *measure, *eps, *topk, *asJSON, *stats, stdout, stderr)
@@ -264,6 +289,68 @@ func runEnsemble(rel *dataset.Relation, opt eulerfd.Options, asJSON, stats bool,
 		fmt.Fprintf(stderr, "euler-ensemble: %d rows × %d cols, %d candidates (majority %d, suspects %d) in %s (members=%d seed=%d)\n",
 			rel.NumRows(), rel.NumCols(), res.Stats.Candidates, res.Stats.MajoritySize, res.Stats.Suspects,
 			elapsed.Round(time.Microsecond), res.Members, res.Seed)
+	}
+	return 0
+}
+
+// runQuality handles -quality: discover the exact cover, then print the
+// data-quality report — the redundancy-ranked top dependencies, their
+// violating clusters and repair plans, and normalization advice. -json
+// emits the pinned quality.Report wire shape, identical to what
+// fdserve's /quality endpoint returns (minus the session version).
+func runQuality(rel *dataset.Relation, opt eulerfd.Options, qopt eulerfd.QualityOptions, asJSON, stats bool, stdout, stderr io.Writer) int {
+	start := time.Now()
+	rep, err := eulerfd.AnalyzeQuality(rel, opt, qopt)
+	if err != nil {
+		fmt.Fprintln(stderr, "fddiscover:", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "fddiscover:", err)
+			return 1
+		}
+	} else {
+		fmt.Fprintf(stdout, "top %d dependencies by redundancy explained:\n", rep.K)
+		for i, rf := range rep.Ranked {
+			status := "exact"
+			if !rf.Exact {
+				status = "approximate"
+			}
+			fmt.Fprintf(stdout, "%2d. %s  redundant_rows=%d score=%.4f (%s)\n",
+				i+1, rf.FD.Format(rel.Attrs), rf.RedundantRows, rf.Score, status)
+		}
+		for i := range rep.Violations {
+			v, r := rep.Violations[i], rep.Repairs[i]
+			fmt.Fprintf(stdout, "violations of %s: %d rows in %d clusters; repair cost %d\n",
+				v.FD.Format(rel.Attrs), v.ViolatingRows, v.Clusters, r.Cost)
+			for _, step := range r.Steps {
+				fmt.Fprintf(stdout, "  rows %v adopt the value of row %d (%d total)\n",
+					step.Rows, step.Adopt, step.RowsTotal)
+			}
+		}
+		n := rep.Normalization
+		switch {
+		case n.Skipped:
+			fmt.Fprintln(stdout, "normalization: skipped (cover too large)")
+		case n.BCNF:
+			fmt.Fprintln(stdout, "normalization: schema is in BCNF")
+		default:
+			fmt.Fprintf(stdout, "normalization: %s violates BCNF; decompose %s\n",
+				n.Violation.Format(rel.Attrs), n.FormatDecomposition(rel.Attrs))
+		}
+		for _, k := range n.Keys {
+			fmt.Fprintf(stdout, "candidate key: %s\n", fdset.NewAttrSet(k...).Names(rel.Attrs))
+		}
+	}
+	if stats {
+		fmt.Fprintf(stderr, "quality: %d rows × %d cols, k=%d, %d violating rows, repair cost %d in %s\n",
+			rep.Rows, len(rep.Attrs), rep.K, rep.TotalViolatingRows, rep.TotalRepairCost,
+			elapsed.Round(time.Microsecond))
 	}
 	return 0
 }

@@ -113,6 +113,17 @@ func runSmoke(cfg serve.Config, stdout io.Writer) error {
 	if ens.Members != 3 || ens.Count == 0 {
 		return fmt.Errorf("query ensemble: members %d, count %d", ens.Members, ens.Count)
 	}
+	var qual struct {
+		Version int64 `json:"version"`
+		K       int   `json:"k"`
+		Ranked  []any `json:"ranked"`
+	}
+	if err := step("query quality", smokeGet(base+"/v1/sessions/"+ack.Session+"/quality?k=3", &qual)); err != nil {
+		return err
+	}
+	if qual.K != 3 || len(qual.Ranked) == 0 || qual.Version != 1 {
+		return fmt.Errorf("query quality: k %d, %d ranked, version %d", qual.K, len(qual.Ranked), qual.Version)
+	}
 
 	// Append a batch and wait for re-discovery.
 	var ack2 struct{ Session, Job string }
@@ -157,6 +168,14 @@ func runSmoke(cfg serve.Config, stdout io.Writer) error {
 	}
 	if err := step("min_version met", smokeGet(base+"/v1/sessions/"+ack.Session+"/fds?min_version=3", nil)); err != nil {
 		return err
+	}
+	// Re-read the quality report behind the same barrier: it must be
+	// recomputed over the mutated snapshot and stamped with its version.
+	if err := step("quality after mutations", smokeGet(base+"/v1/sessions/"+ack.Session+"/quality?min_version=3", &qual)); err != nil {
+		return err
+	}
+	if qual.Version != 3 {
+		return fmt.Errorf("quality after mutations: version %d, want 3", qual.Version)
 	}
 	var stale int
 	if err := smokeGetStatus(base+"/v1/sessions/"+ack.Session+"/fds?min_version=99", &stale); err != nil {

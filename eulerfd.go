@@ -42,6 +42,7 @@ import (
 	"eulerfd/internal/infer"
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/quality"
 	"eulerfd/internal/tane"
 )
 
@@ -96,6 +97,10 @@ const (
 	MeasurePdep = afd.Pdep
 	// MeasureTau is 1 − τ(X→A), pdep normalized against A's marginal.
 	MeasureTau = afd.Tau
+	// MeasureRedundancy ranks dependencies by the redundancy they
+	// explain (Wan & Han): 1 − red(X→A)/(n−1), oriented as an error.
+	// Top-k only — it is not anti-monotone.
+	MeasureRedundancy = afd.Redundancy
 )
 
 // ParseMeasure maps a user-supplied measure name (CLI flag, query
@@ -107,17 +112,18 @@ const (
 	AlgoEuler         = algo.Euler
 	AlgoEulerEnsemble = algo.EulerEnsemble
 
-	AlgoHyFD     = algo.HyFD
-	AlgoTANE     = algo.TANE
-	AlgoFun      = algo.Fun
-	AlgoDfd      = algo.Dfd
-	AlgoFdep     = algo.Fdep
-	AlgoDepMiner = algo.DepMiner
-	AlgoFastFDs  = algo.FastFDs
-	AlgoAIDFD    = algo.AIDFD
-	AlgoKivinen  = algo.Kivinen
-	AlgoAFDg3    = algo.AFDg3
-	AlgoAFDTopK  = algo.AFDTopK
+	AlgoHyFD          = algo.HyFD
+	AlgoTANE          = algo.TANE
+	AlgoFun           = algo.Fun
+	AlgoDfd           = algo.Dfd
+	AlgoFdep          = algo.Fdep
+	AlgoDepMiner      = algo.DepMiner
+	AlgoFastFDs       = algo.FastFDs
+	AlgoAIDFD         = algo.AIDFD
+	AlgoKivinen       = algo.Kivinen
+	AlgoAFDg3         = algo.AFDg3
+	AlgoAFDTopK       = algo.AFDTopK
+	AlgoAFDRedundancy = algo.AFDRedundancy
 )
 
 // Algorithms lists every registered discovery algorithm in a stable
@@ -385,6 +391,56 @@ func DiscoverApproxContext(ctx context.Context, rel *Relation, measure Measure, 
 		return ApproxResult{}, err
 	}
 	return ApproxResult{Algo: AlgoAFDg3, Measure: aopt.Measure, FDs: fds, Stats: stats}, nil
+}
+
+// Quality re-exports. The quality subsystem (internal/quality) turns a
+// discovered cover into an actionable data-quality report: redundancy-
+// ranked dependencies, per-dependency violating clusters with stable row
+// ids, minimal repair plans, and normalization advice.
+type (
+	// QualityOptions bounds a quality report (ranked dependencies,
+	// cluster examples, row ids per example).
+	QualityOptions = quality.Options
+	// QualityReport is the full report; its json tags are the pinned
+	// wire shape served at /v1/sessions/{id}/quality and emitted by
+	// fddiscover -quality.
+	QualityReport = quality.Report
+)
+
+// DefaultQualityOptions returns the report bounds shared by the CLIs
+// and fdserve.
+func DefaultQualityOptions() QualityOptions { return quality.DefaultOptions() }
+
+// AnalyzeQuality discovers a cover with EulerFD (opt tunes the double
+// cycle) and composes the data-quality report over it: the cover seeds
+// a redundancy-ranked top-k, each ranked near-FD gets its violating
+// clusters and minimal repair plan, and the cover itself feeds the
+// normalization advice. The report is deterministic for any
+// Options.Workers value.
+func AnalyzeQuality(rel *Relation, opt Options, qopt QualityOptions) (*QualityReport, error) {
+	return AnalyzeQualityContext(context.Background(), rel, opt, qopt)
+}
+
+// AnalyzeQualityContext is AnalyzeQuality under a context. Cancellation
+// is cooperative: at double-cycle stage boundaries while discovering the
+// cover, and between pipeline stages and ranked dependencies while
+// composing the report.
+func AnalyzeQualityContext(ctx context.Context, rel *Relation, opt Options, qopt QualityOptions) (*QualityReport, error) {
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if err := qopt.Validate(); err != nil {
+		return nil, err
+	}
+	enc := preprocess.Encode(rel)
+	cover, _, err := core.DiscoverEncodedContext(ctx, enc, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	return quality.Analyze(ctx, enc, cover, nil, qopt)
 }
 
 // Ensemble re-exports. EulerFD is a randomized approximation once

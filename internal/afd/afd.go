@@ -41,7 +41,7 @@ func DefaultOptions() Options {
 // options are only validated when they will be used (top-k mode).
 func (o Options) Validate() error {
 	if o.Measure != "" && !o.Measure.Valid() {
-		return fmt.Errorf("afd: unknown measure %q (want g3, g1, pdep, or tau)", string(o.Measure))
+		return fmt.Errorf("afd: unknown measure %q (want g3, g1, pdep, tau, or redundancy)", string(o.Measure))
 	}
 	if math.IsNaN(o.Epsilon) || o.Epsilon < 0 || o.Epsilon > 1 {
 		return fmt.Errorf("afd: epsilon %v outside [0, 1]", o.Epsilon)

@@ -11,12 +11,14 @@
 // all of them. The measure menu follows Parciak et al., "Measuring
 // Approximate Functional Dependencies: a Comparative Study":
 //
-//	g3    minimum fraction of rows to delete so X → A holds
-//	g1    fraction of ordered row pairs violating X → A
-//	pdep  1 − pdep(A|X), the chance a drawn pair from one X-cluster
-//	      disagrees on A
-//	tau   1 − τ(X→A), pdep normalized against guessing A from its own
-//	      distribution
+//	g3          minimum fraction of rows to delete so X → A holds
+//	g1          fraction of ordered row pairs violating X → A
+//	pdep        1 − pdep(A|X), the chance a drawn pair from one X-cluster
+//	            disagrees on A
+//	tau         1 − τ(X→A), pdep normalized against guessing A from its own
+//	            distribution
+//	redundancy  1 − red(X→A)/(n−1): ranks FDs by how much redundancy they
+//	            explain (Wan & Han) rather than how little they err
 package afd
 
 import (
@@ -43,10 +45,18 @@ const (
 	// Tau is 1 − τ(X→A), Goodman & Kruskal's τ: pdep's improvement over
 	// guessing A from its marginal distribution, normalized to (0, 1].
 	Tau Measure = "tau"
+	// Redundancy is the redundancy-driven ranking measure (Wan & Han):
+	// red(X→A) counts the RHS cells derivable from their X-cluster's
+	// plurality value — the storage the dependency would deduplicate —
+	// and the score is 1 − red/(n−1), oriented as an error so that a
+	// dependency explaining more redundancy ranks better. Not
+	// anti-monotone (adding LHS attributes fragments clusters and can
+	// only shrink explained redundancy), so it is a top-k-only measure.
+	Redundancy Measure = "redundancy"
 )
 
 // Measures lists the supported measures in stable (documentation) order.
-func Measures() []Measure { return []Measure{G3, G1, Pdep, Tau} }
+func Measures() []Measure { return []Measure{G3, G1, Pdep, Tau, Redundancy} }
 
 // ParseMeasure maps a user-supplied spelling (CLI flag, query parameter)
 // to a Measure, case-insensitively. An empty string selects G3.
@@ -60,14 +70,16 @@ func ParseMeasure(s string) (Measure, error) {
 		return Pdep, nil
 	case "tau", "τ":
 		return Tau, nil
+	case "redundancy", "red":
+		return Redundancy, nil
 	}
-	return "", fmt.Errorf("afd: unknown measure %q (want g3, g1, pdep, or tau)", s)
+	return "", fmt.Errorf("afd: unknown measure %q (want g3, g1, pdep, tau, or redundancy)", s)
 }
 
 // Valid reports whether m is one of the supported measures.
 func (m Measure) Valid() bool {
 	switch m {
-	case G3, G1, Pdep, Tau:
+	case G3, G1, Pdep, Tau, Redundancy:
 		return true
 	}
 	return false

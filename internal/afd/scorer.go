@@ -119,16 +119,17 @@ func (s *Scorer) Score(m Measure, lhs fdset.AttrSet, rhs int) float64 {
 // Scores carries the error of one candidate under every measure,
 // computed from a single partition walk.
 type Scores struct {
-	G3   float64 `json:"g3"`
-	G1   float64 `json:"g1"`
-	Pdep float64 `json:"pdep"`
-	Tau  float64 `json:"tau"`
+	G3         float64 `json:"g3"`
+	G1         float64 `json:"g1"`
+	Pdep       float64 `json:"pdep"`
+	Tau        float64 `json:"tau"`
+	Redundancy float64 `json:"redundancy"`
 }
 
-// ScoreAll evaluates lhs → rhs under all four measures at once. The
+// ScoreAll evaluates lhs → rhs under all five measures at once. The
 // tallies of every measure fall out of the same stripped-partition pass
-// (preprocess.MeasureCounts), so ScoreAll costs one walk where four
-// Score calls would cost four.
+// (preprocess.MeasureCounts), so ScoreAll costs one walk where five
+// Score calls would cost five.
 //
 //fdlint:hotpath
 func (s *Scorer) ScoreAll(lhs fdset.AttrSet, rhs int) Scores {
@@ -137,11 +138,25 @@ func (s *Scorer) ScoreAll(lhs fdset.AttrSet, rhs int) Scores {
 		return Scores{}
 	}
 	return Scores{
-		G3:   s.measureFrom(G3, mc, rhs, n),
-		G1:   s.measureFrom(G1, mc, rhs, n),
-		Pdep: s.measureFrom(Pdep, mc, rhs, n),
-		Tau:  s.measureFrom(Tau, mc, rhs, n),
+		G3:         s.measureFrom(G3, mc, rhs, n),
+		G1:         s.measureFrom(G1, mc, rhs, n),
+		Pdep:       s.measureFrom(Pdep, mc, rhs, n),
+		Tau:        s.measureFrom(Tau, mc, rhs, n),
+		Redundancy: s.measureFrom(Redundancy, mc, rhs, n),
 	}
+}
+
+// RedundantRows returns the raw redundancy numerator of lhs → rhs: the
+// number of RHS cells derivable from their cluster's plurality value
+// once violations are repaired (preprocess.MeasureCounts.RedundantRows).
+// The quality subsystem annotates normalization advice with it; the
+// Redundancy measure is its normalized, error-oriented form.
+func (s *Scorer) RedundantRows(lhs fdset.AttrSet, rhs int) int {
+	mc, _, trivial := s.counts(lhs, rhs)
+	if trivial {
+		return 0
+	}
+	return mc.RedundantRows()
 }
 
 // counts runs the fused measure kernel for one candidate: one partition
@@ -180,6 +195,16 @@ func (s *Scorer) measureFrom(m Measure, mc preprocess.MeasureCounts, rhs, n int)
 			return 0
 		}
 		return clamp01(1 - (mc.PdepFrom(n)-base)/(1-base))
+	case Redundancy:
+		if n <= 1 {
+			// A 0- or 1-row relation holds no redundancy to explain.
+			return 1
+		}
+		// red/(n−1) is the fraction of the maximum possible redundancy (a
+		// constant column under a constant LHS explains n−1 cells). The
+		// numerator is assembled in integers; one division keeps the low
+		// bits order-independent (I8).
+		return clamp01(1 - float64(mc.RedundantRows())/float64(n-1))
 	}
 	panic(fmt.Sprintf("afd: invalid measure %q", string(m)))
 }

@@ -35,22 +35,26 @@ type ID string
 
 // Registered algorithm IDs.
 const (
-	Euler    ID = "euler"
+	Euler ID = "euler"
 	// EulerEnsemble votes N seeded EulerFD runs (internal/ensemble) and
 	// reports the strict-majority FD set; Tuning.Euler.Ensemble sets N
 	// (default 5) and Tuning.Euler.Seed the base seed.
 	EulerEnsemble ID = "euler-ensemble"
 	HyFD          ID = "hyfd"
-	TANE     ID = "tane"
-	Fun      ID = "fun"
-	Dfd      ID = "dfd"
-	Fdep     ID = "fdep"
-	DepMiner ID = "depminer"
-	FastFDs  ID = "fastfds"
-	AIDFD    ID = "aidfd"
-	Kivinen  ID = "kivinen"
-	AFDg3    ID = "afd-g3"
-	AFDTopK  ID = "afd-topk"
+	TANE          ID = "tane"
+	Fun           ID = "fun"
+	Dfd           ID = "dfd"
+	Fdep          ID = "fdep"
+	DepMiner      ID = "depminer"
+	FastFDs       ID = "fastfds"
+	AIDFD         ID = "aidfd"
+	Kivinen       ID = "kivinen"
+	AFDg3         ID = "afd-g3"
+	AFDTopK       ID = "afd-topk"
+	// AFDRedundancy ranks EulerFD-seeded candidates by the redundancy
+	// they explain (Wan & Han) instead of raw error: top-k mode with the
+	// measure pinned to afd.Redundancy.
+	AFDRedundancy ID = "afd-redundancy"
 )
 
 // Info describes a registered algorithm.
@@ -250,6 +254,28 @@ var registry = []entry{
 		run: func(ctx context.Context, enc *preprocess.Encoded, t Tuning) (*fdset.Set, string, error) {
 			opt := t.AFD
 			opt.Euler = t.Euler
+			if opt.TopK < 1 {
+				opt.TopK = afd.DefaultOptions().TopK
+			}
+			scored, st, err := afd.TopK(ctx, enc, opt)
+			if err != nil {
+				return nil, "", err
+			}
+			fds := fdset.NewSet()
+			for _, sf := range scored {
+				fds.Add(sf.FD)
+			}
+			return fds, fmt.Sprintf("measure=%s k=%d candidates=%d results=%d",
+				st.Measure, st.K, st.Candidates, st.Results), nil
+		},
+	},
+	{
+		info: Info{ID: AFDRedundancy, Name: "AFD redundancy top-k", Exact: false,
+			Summary: "k dependencies explaining the most redundancy, EulerFD-seeded (Wan & Han)"},
+		run: func(ctx context.Context, enc *preprocess.Encoded, t Tuning) (*fdset.Set, string, error) {
+			opt := t.AFD
+			opt.Euler = t.Euler
+			opt.Measure = afd.Redundancy // the mode's defining choice; tuning cannot override it
 			if opt.TopK < 1 {
 				opt.TopK = afd.DefaultOptions().TopK
 			}

@@ -268,6 +268,7 @@ func GatedPackage(pkgPath string) bool {
 		"eulerfd/internal/preprocess",
 		"eulerfd/internal/fdset",
 		"eulerfd/internal/pool",
+		"eulerfd/internal/quality",
 		"eulerfd/internal/serve":
 		return true
 	}
@@ -289,6 +290,7 @@ func CtxGatedPackage(pkgPath string) bool {
 	case "eulerfd",
 		"eulerfd/internal/core",
 		"eulerfd/internal/ensemble",
+		"eulerfd/internal/quality",
 		"eulerfd/internal/serve",
 		"eulerfd/internal/algo",
 		"eulerfd/internal/tane",

@@ -84,8 +84,8 @@ func TestFmtTime(t *testing.T) {
 }
 
 func TestExperimentRegistryComplete(t *testing.T) {
-	if len(ExperimentIDs) != 12 {
-		t.Fatalf("want 12 experiments (Table III, Figs 6-11, Table V, sampling, afd, kernels, ensemble), got %d", len(ExperimentIDs))
+	if len(ExperimentIDs) != 13 {
+		t.Fatalf("want 13 experiments (Table III, Figs 6-11, Table V, sampling, afd, kernels, ensemble, quality), got %d", len(ExperimentIDs))
 	}
 	for _, id := range ExperimentIDs {
 		if _, ok := Experiments[id]; !ok {

@@ -30,13 +30,15 @@ var Experiments = map[string]func(w io.Writer, r *Runner){
 	"afd":      AFD,
 	"kernels":  Kernels,
 	"ensemble": Ensemble,
+	"quality":  Quality,
 }
 
 // ExperimentIDs lists the experiment ids in paper order; "sampling" (the
 // parallel-engine benchmark), "afd" (the approximate-FD scoring
-// benchmark), "kernels" (the hot-path micro-benchmark), and "ensemble"
-// (the confidence-voting accuracy sweep), none from the paper, run last.
-var ExperimentIDs = []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "sampling", "afd", "kernels", "ensemble"}
+// benchmark), "kernels" (the hot-path micro-benchmark), "ensemble"
+// (the confidence-voting accuracy sweep), and "quality" (the
+// data-quality report pipeline), none from the paper, run last.
+var ExperimentIDs = []string{"table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table5", "sampling", "afd", "kernels", "ensemble", "quality"}
 
 // Table3 reproduces Table III: runtime and F1 of all five algorithms on
 // the 19 benchmark datasets. Exact algorithms are skipped ("TL") on

@@ -143,26 +143,26 @@ func (o Options) withDefaults(numRows int) Options {
 // documents; durations are serialized as integer nanoseconds (Go's
 // time.Duration encoding) under *_ns keys.
 type Stats struct {
-	Rows          int           `json:"rows"`
-	Cols          int           `json:"cols"`
-	PairsCompared int           `json:"pairs_compared"`
-	AgreeSets     int           `json:"agree_sets"`  // distinct agree sets sampled
-	NcoverSize    int           `json:"ncover_size"` // maximal non-FDs stored
-	PcoverSize    int           `json:"pcover_size"` // minimal FDs output
-	SampleBatches int           `json:"sample_batches"`
-	Inversions    int           `json:"inversions"` // second-cycle iterations
+	Rows          int `json:"rows"`
+	Cols          int `json:"cols"`
+	PairsCompared int `json:"pairs_compared"`
+	AgreeSets     int `json:"agree_sets"`  // distinct agree sets sampled
+	NcoverSize    int `json:"ncover_size"` // maximal non-FDs stored
+	PcoverSize    int `json:"pcover_size"` // minimal FDs output
+	SampleBatches int `json:"sample_batches"`
+	Inversions    int `json:"inversions"` // second-cycle iterations
 	// Retired and PatchedRHS are produced only by incremental mutation
 	// batches (core.Incremental): maximal non-FDs that left the negative
 	// cover because their last witness died, and RHS attributes whose
 	// positive-cover tree was re-inverted because of a retirement. One-shot
 	// discovery leaves them zero.
-	Retired    int           `json:"retired"`
-	PatchedRHS int           `json:"patched_rhs"`
-	Preprocess time.Duration `json:"preprocess_ns"`
-	Sampling      time.Duration `json:"sampling_ns"`
-	NcoverBuild   time.Duration `json:"ncover_build_ns"`
-	Inversion     time.Duration `json:"inversion_ns"`
-	Total         time.Duration `json:"total_ns"`
+	Retired     int           `json:"retired"`
+	PatchedRHS  int           `json:"patched_rhs"`
+	Preprocess  time.Duration `json:"preprocess_ns"`
+	Sampling    time.Duration `json:"sampling_ns"`
+	NcoverBuild time.Duration `json:"ncover_build_ns"`
+	Inversion   time.Duration `json:"inversion_ns"`
+	Total       time.Duration `json:"total_ns"`
 }
 
 // Progress is a snapshot of a running discovery, delivered to an

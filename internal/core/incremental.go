@@ -272,7 +272,12 @@ func (inc *Incremental) applyDelta(ctx context.Context, batch MutationBatch, obs
 		return stats, err
 	}
 
-	b := newBatchState(inc)
+	// The pool lives for one batch: phase one shards the delta scan's
+	// chunked sweeps, phase two shards cover patching.
+	pl := pool.New(inc.opt.Workers)
+	defer pl.Close()
+
+	b := newBatchState(inc, pl)
 	tScan := timing.Start()
 	if err := b.run(ctx, batch); err != nil {
 		return stats, err
@@ -305,8 +310,6 @@ func (inc *Incremental) applyDelta(ctx context.Context, batch MutationBatch, obs
 	tPatch := timing.Start()
 	inc.lastChanged = b.commitEncoder()
 	realized, retired := inc.mergeWitness(&b.d)
-	pl := pool.New(inc.opt.Workers)
-	defer pl.Close()
 	inc.patchCovers(realized, retired, pl, &stats)
 	tPatch.AddTo(&stats.Inversion)
 

@@ -8,6 +8,7 @@ import (
 	"sort"
 
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
 )
 
@@ -171,6 +172,26 @@ func (d *deltaScan) addSet(s fdset.AttrSet, count int, pairs, sign int64) {
 	d.ds[s] = v + sign*pairs*int64(count)
 }
 
+// deltaChunk is the result scratch of one parallel chunk of a delta
+// sweep: the run-grouped evidence of DeltaChunkPairs consecutive base
+// slots. Each concurrent chunk owns exactly one deltaChunk, so workers
+// never share mutable result state; buffers are reused across sweeps.
+// Workers fill the run lists (keys/radds on the ≤ 64-column word path,
+// rsets/rcounts/radds on the wide path) and the coordinator merges the
+// chunks in position order into the witness delta — the same sequence of
+// addWord/addSet calls the sequential sweep makes, because that sweep
+// already folds runs per DeltaChunkPairs chunk.
+type deltaChunk struct {
+	from, to int // positions [from, to) of baseAlive covered by this chunk
+	words    []uint64
+	sets     []fdset.AttrSet
+	counts   []int32
+	keys     []uint64        // word path: run-head agree masks
+	rsets    []fdset.AttrSet // wide path: run-head agree sets
+	rcounts  []int32         // wide path: shared-attribute count per run head
+	radds    []int32         // pairs per run
+}
+
 // extraRow is a row of the batch's virtual overlay: either a staged append
 // (baseSlot < 0, addressed by the predicted id nextID+appendIdx) or the
 // rewritten content of a base row (baseSlot ≥ 0, keeping id).
@@ -198,8 +219,8 @@ type batchState struct {
 
 	baseNextID  int64
 	appendCount int
-	appendIdx   []int             // staged-append index → extras index
-	replacedIdx map[int64]int     // base id rewritten this batch → extras index
+	appendIdx   []int              // staged-append index → extras index
+	replacedIdx map[int64]int      // base id rewritten this batch → extras index
 	deletedBase map[int64]struct{} // base ids deleted this batch
 
 	deleteIDs []int64 // ids to tombstone at commit, in operation order
@@ -207,15 +228,23 @@ type batchState struct {
 	d     deltaScan
 	pairs int
 
-	// scan scratch
+	// scan scratch (sequential path and the extras tail)
 	words  []uint64
 	sets   []fdset.AttrSet
 	counts []int32
 
+	// pool, when non-nil, parallelizes large base-slot sweeps: chunks are
+	// dispatched to the persistent workers and merged in position order,
+	// so the witness delta's first-touch key order — what mergeWitness
+	// depends on for deterministic realized/retired lists — is identical
+	// to the sequential sweep's.
+	pool   *pool.Pool
+	chunks []deltaChunk // per-chunk result scratch, reused across sweeps
+
 	appends, deletes, updates int
 }
 
-func newBatchState(inc *Incremental) *batchState {
+func newBatchState(inc *Incremental, pl *pool.Pool) *batchState {
 	b := &batchState{
 		inc:         inc,
 		enc:         inc.encoder,
@@ -225,6 +254,7 @@ func newBatchState(inc *Incremental) *batchState {
 		baseNextID:  inc.encoder.NextID(),
 		replacedIdx: make(map[int64]int),
 		deletedBase: make(map[int64]struct{}),
+		pool:        pl,
 	}
 	if b.word {
 		b.d.dw = make(map[uint64]int64)
@@ -283,9 +313,40 @@ func (b *batchState) removeBase(slot int) {
 // itself. Base slots go through the batched encoder kernel in chunks of
 // DeltaChunkPairs with a cancellation check per chunk; identical
 // consecutive agree masks fold as one map operation (the same run-skip the
-// sampler uses, and equally common on low-cardinality data).
+// sampler uses, and equally common on low-cardinality data). Sweeps
+// spanning more than one chunk are dispatched to the worker pool when one
+// is attached; the witness delta is identical either way.
 func (b *batchState) scan(ctx context.Context, labels []int32, sign int64) error {
 	chunk := b.inc.opt.DeltaChunkPairs
+	if b.pool != nil && len(b.baseAlive) > chunk {
+		if err := b.scanBaseParallel(ctx, labels, sign, chunk); err != nil {
+			return err
+		}
+	} else if err := b.scanBase(ctx, labels, sign, chunk); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for ei := range b.extras {
+		ex := &b.extras[ei]
+		if ex.dead {
+			continue
+		}
+		if b.word {
+			b.d.addWord(preprocess.AgreeRowsWord(labels, ex.labels), 1, sign)
+		} else {
+			s, n := preprocess.AgreeRowsSet(labels, ex.labels)
+			b.d.addSet(s, n, 1, sign)
+		}
+		b.pairs++
+	}
+	return nil
+}
+
+// scanBase is the sequential base-slot sweep: one chunk at a time through
+// the batched kernel, runs folded straight into the witness delta.
+func (b *batchState) scanBase(ctx context.Context, labels []int32, sign int64, chunk int) error {
 	for start := 0; start < len(b.baseAlive); start += chunk {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -323,21 +384,101 @@ func (b *batchState) scan(ctx context.Context, labels []int32, sign int64) error
 		}
 		b.pairs += len(slots)
 	}
+	return nil
+}
+
+// scanBaseParallel runs the base-slot sweep through the worker pool: the
+// slot range is cut into the same DeltaChunkPairs chunks the sequential
+// sweep uses, each worker computes its chunk's agree masks (or sets) with
+// the batched kernel into the chunk's private buffers and run-groups them
+// into (key, pairs) lists, and the coordinator merges the chunks in
+// position order into the witness delta. Because the chunk boundaries
+// match the sequential sweep's and addWord/addSet accumulate, the merge
+// performs the identical call sequence — so first-touch key order (what
+// makes mergeWitness deterministic) and all tallies are bit-identical to
+// scanBase. Workers observe cancellation at chunk start and skip the
+// kernel; the coordinator then returns before merging anything, leaving
+// the delta exactly as cancellation mid-scanBase would.
+func (b *batchState) scanBaseParallel(ctx context.Context, labels []int32, sign int64, chunk int) error {
+	n := len(b.baseAlive)
+	numChunks := (n + chunk - 1) / chunk
+	for len(b.chunks) < numChunks {
+		b.chunks = append(b.chunks, deltaChunk{})
+	}
+	for k := 0; k < numChunks; k++ {
+		from := k * chunk
+		to := from + chunk
+		if to > n {
+			to = n
+		}
+		b.chunks[k].from, b.chunks[k].to = from, to
+	}
+	if b.word {
+		b.pool.Do(numChunks, func(k int) {
+			ch := &b.chunks[k]
+			ch.keys, ch.radds = ch.keys[:0], ch.radds[:0]
+			if ctx.Err() != nil {
+				return // a cancelled sweep is discarded wholesale
+			}
+			m := ch.to - ch.from
+			if cap(ch.words) < m {
+				ch.words = make([]uint64, m)
+			}
+			words := ch.words[:m]
+			b.enc.AgreeSlotsWords(labels, b.baseAlive[ch.from:ch.to], words)
+			for i := 0; i < m; {
+				w := words[i]
+				j := i + 1
+				for j < m && words[j] == w {
+					j++
+				}
+				ch.keys = append(ch.keys, w)
+				ch.radds = append(ch.radds, int32(j-i))
+				i = j
+			}
+		})
+	} else {
+		b.pool.Do(numChunks, func(k int) {
+			ch := &b.chunks[k]
+			ch.rsets, ch.rcounts, ch.radds = ch.rsets[:0], ch.rcounts[:0], ch.radds[:0]
+			if ctx.Err() != nil {
+				return
+			}
+			m := ch.to - ch.from
+			if cap(ch.sets) < m {
+				ch.sets = make([]fdset.AttrSet, m)
+				ch.counts = make([]int32, m)
+			}
+			sets, counts := ch.sets[:m], ch.counts[:m]
+			b.enc.AgreeSlotsInto(labels, b.baseAlive[ch.from:ch.to], sets, counts)
+			for i := 0; i < m; {
+				s := sets[i]
+				j := i + 1
+				for j < m && sets[j] == s {
+					j++
+				}
+				ch.rsets = append(ch.rsets, s)
+				ch.rcounts = append(ch.rcounts, counts[i])
+				ch.radds = append(ch.radds, int32(j-i))
+				i = j
+			}
+		})
+	}
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	for ei := range b.extras {
-		ex := &b.extras[ei]
-		if ex.dead {
-			continue
-		}
+	for k := 0; k < numChunks; k++ {
+		ch := &b.chunks[k]
 		if b.word {
-			b.d.addWord(preprocess.AgreeRowsWord(labels, ex.labels), 1, sign)
+			for x, w := range ch.keys {
+				b.d.addWord(w, int64(ch.radds[x]), sign)
+			}
 		} else {
-			s, n := preprocess.AgreeRowsSet(labels, ex.labels)
-			b.d.addSet(s, n, 1, sign)
+			for x, s := range ch.rsets {
+				b.d.addSet(s, int(ch.rcounts[x]), int64(ch.radds[x]), sign)
+			}
 		}
-		b.pairs++
+		b.pairs += ch.to - ch.from
 	}
 	return nil
 }

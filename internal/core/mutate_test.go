@@ -202,8 +202,8 @@ func (inc *Incremental) encoderCompactions() int { return inc.encoder.Compaction
 
 // TestApplyDeterministicAcrossWorkers replays one mutation sequence under
 // several worker counts: the resulting covers must be identical (the
-// delta scan is sequential and every parallel cover stage merges
-// deterministically).
+// parallel delta scan merges chunks in position order and every parallel
+// cover stage merges deterministically).
 func TestApplyDeterministicAcrossWorkers(t *testing.T) {
 	build := func(workers int) *fdset.Set {
 		r := rand.New(rand.NewSource(283))
@@ -283,11 +283,11 @@ func TestApplyBadIDsRollBack(t *testing.T) {
 	before := inc.FDs()
 	version := inc.Version()
 	cases := []MutationBatch{
-		{Mutations: []Mutation{DeleteOp(99)}},                              // unknown id
-		{Mutations: []Mutation{DeleteOp(0), DeleteOp(0)}},                  // double delete
+		{Mutations: []Mutation{DeleteOp(99)}},                                                // unknown id
+		{Mutations: []Mutation{DeleteOp(0), DeleteOp(0)}},                                    // double delete
 		{Mutations: []Mutation{AppendOp([][]string{{"q", "7"}}), DeleteOp(0), DeleteOp(99)}}, // partial batch fails late
 		{Mutations: []Mutation{UpdateOp([]int64{50}, [][]string{{"a", "b"}})}},
-		{Mutations: []Mutation{{Op: "upsert"}}},                            // unknown op
+		{Mutations: []Mutation{{Op: "upsert"}}},                                      // unknown op
 		{Mutations: []Mutation{{Op: OpAppend, Rows: [][]string{{"only-one-cell"}}}}}, // width
 	}
 	for i, batch := range cases {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
 	"eulerfd/internal/dataset"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/gen"
+	"eulerfd/internal/naive"
 	"eulerfd/internal/pool"
 	"eulerfd/internal/preprocess"
 )
@@ -165,5 +167,66 @@ func TestIncrementalParallelDeterminism(t *testing.T) {
 	}
 	if want, got := run(1), run(4); !want.Equal(got) {
 		t.Error("incremental FD set differs between workers=1 and workers=4")
+	}
+}
+
+// TestDeltaScanParallelBatchDeterminism forces the parallel delta scan —
+// a chunk size far below the base size, so every mutation sweep spans
+// many chunks — and replays one seeded mutation sequence at several
+// worker counts, on both the ≤ 64-column word path and the wide path.
+// Every committed version must yield the identical FD set (workers=1
+// takes the sequential sweep, so this pins parallel ≡ sequential), and
+// the word shape's final result must match the brute-force oracle on the
+// surviving rows.
+func TestDeltaScanParallelBatchDeterminism(t *testing.T) {
+	shapes := map[string]*dataset.Relation{
+		"word": gen.UCITable("word", 400, 6, false, 4, 17),
+		// Sparse and key-heavy: dense wide shapes make every batch rebuild
+		// huge per-RHS covers, which is inversion cost, not scan cost.
+		"wide": gen.WideSparseTuned("wide", 100, 65, 0.05, 0.5, 13),
+	}
+	for name, rel := range shapes {
+		t.Run(name, func(t *testing.T) {
+			run := func(workers int) ([]*fdset.Set, *mutationModel) {
+				r := rand.New(rand.NewSource(331))
+				m := &mutationModel{attrs: rel.Attrs}
+				opt := DefaultOptions()
+				opt.ExhaustWindows = true
+				opt.Workers = workers
+				opt.DeltaChunkPairs = 32
+				inc, err := NewIncremental(rel.Name, rel.Attrs, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m.append(rel.Rows)
+				if _, err := inc.Append(rel.Rows); err != nil {
+					t.Fatal(err)
+				}
+				var perBatch []*fdset.Set
+				for bi := 0; bi < 4; bi++ {
+					if _, err := inc.Apply(randomBatch(r, m, 3)); err != nil {
+						t.Fatalf("workers=%d batch %d: %v", workers, bi, err)
+					}
+					perBatch = append(perBatch, inc.FDs())
+				}
+				return perBatch, m
+			}
+			want, m := run(1)
+			for _, workers := range []int{2, 4} {
+				got, _ := run(workers)
+				for bi := range want {
+					if !got[bi].Equal(want[bi]) {
+						t.Fatalf("workers=%d batch %d FD set differs from sequential:\ngot  %v\nwant %v",
+							workers, bi, got[bi].Slice(), want[bi].Slice())
+					}
+				}
+			}
+			if len(rel.Attrs) <= naive.MaxCols {
+				final, oracle := want[len(want)-1], naive.Discover(m.relation(t))
+				if !final.Equal(oracle) {
+					t.Fatalf("final cover diverged from oracle:\ngot  %v\nwant %v", final.Slice(), oracle.Slice())
+				}
+			}
+		})
 	}
 }

@@ -289,9 +289,9 @@ func TestEnsembleVoteTieBreakCanonical(t *testing.T) {
 // TestEnsembleImpliedVote: a member whose minimal cover contains a
 // generalization vouches for the specialization another member reports.
 func TestEnsembleImpliedVote(t *testing.T) {
-	gen1 := fdset.NewSet(fdset.NewFD([]int{0}, 3))       // A -> D
-	spec := fdset.NewSet(fdset.NewFD([]int{0, 1}, 3))    // AB -> D
-	other := fdset.NewSet(fdset.NewFD([]int{2}, 1))      // C -> B
+	gen1 := fdset.NewSet(fdset.NewFD([]int{0}, 3))    // A -> D
+	spec := fdset.NewSet(fdset.NewFD([]int{0, 1}, 3)) // AB -> D
+	other := fdset.NewSet(fdset.NewFD([]int{2}, 1))   // C -> B
 	fds := mergeVotes([]*fdset.Set{gen1, spec, other})
 	// gen1 vouches for its own A→D and for spec's AB→D (A→D implies it);
 	// spec's AB→D says nothing about the more general A→D.

@@ -52,14 +52,28 @@ func IsSuperkey(fds *fdset.Set, x fdset.AttrSet, ncols int) bool {
 // exponential in the worst case — callers should bound ncols (maxCols ≤
 // 24 is enforced; wider schemas rarely want full key enumeration).
 func CandidateKeys(fds *fdset.Set, ncols int) []fdset.AttrSet {
+	keys, _ := CandidateKeysBounded(fds, ncols, 0)
+	return keys
+}
+
+// CandidateKeysBounded is CandidateKeys under a work budget: maxNodes
+// caps how many lattice nodes the search may test for superkey-ness
+// (each test is a closure computation, the search's unit of work).
+// maxNodes ≤ 0 means unbounded. complete reports whether the search
+// finished within budget; when it did not, the keys found so far are
+// returned but the enumeration may miss wider keys. The budget makes
+// key enumeration safe to run inline on schemas whose minimal keys are
+// wide — the lattice breadth below a width-k key grows like C(ncols,k),
+// far past what a report or request should spend.
+func CandidateKeysBounded(fds *fdset.Set, ncols, maxNodes int) (keys []fdset.AttrSet, complete bool) {
 	const maxCols = 24
 	if ncols > maxCols {
 		panic("infer: CandidateKeys limited to 24 attributes")
 	}
 	if ncols == 0 {
-		return nil
+		return nil, true
 	}
-	var keys []fdset.AttrSet
+	nodes := 0
 	level := []fdset.AttrSet{fdset.EmptySet()}
 	for size := 0; size <= ncols && len(level) > 0; size++ {
 		var next []fdset.AttrSet
@@ -75,6 +89,11 @@ func CandidateKeys(fds *fdset.Set, ncols int) []fdset.AttrSet {
 			if blocked {
 				continue
 			}
+			if maxNodes > 0 && nodes >= maxNodes {
+				sortKeys(keys)
+				return keys, false
+			}
+			nodes++
 			if IsSuperkey(fds, x, ncols) {
 				keys = append(keys, x)
 				continue
@@ -93,10 +112,14 @@ func CandidateKeys(fds *fdset.Set, ncols int) []fdset.AttrSet {
 		}
 		level = next
 	}
+	sortKeys(keys)
+	return keys, true
+}
+
+func sortKeys(keys []fdset.AttrSet) {
 	sort.Slice(keys, func(i, j int) bool {
 		return fdset.Less(fdset.FD{LHS: keys[i]}, fdset.FD{LHS: keys[j]})
 	})
-	return keys
 }
 
 // BCNFViolation returns a discovered FD whose LHS is not a superkey — a

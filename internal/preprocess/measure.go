@@ -17,6 +17,11 @@ package preprocess
 //     PdepFrom to fold them back in.
 //   - Covered is the number of rows the stripped partition covers
 //     (Sum()), needed to account for the dropped singletons.
+//   - Clusters is the number of (non-singleton) clusters of π_X. Together
+//     with Covered and ViolatingRows it yields the redundancy numerator
+//     (Wan & Han): Covered − ViolatingRows − Clusters counts the RHS
+//     cells that are derivable from their cluster's plurality value —
+//     each cluster keeps one representative row and explains the rest.
 //
 // Rows in singleton X-clusters can never violate anything, which is why
 // stripped partitions lose no information for any of the measures. One
@@ -28,6 +33,16 @@ type MeasureCounts struct {
 	ViolatingPairs int64
 	GroupSqSum     float64
 	Covered        int
+	Clusters       int
+}
+
+// RedundantRows is the redundancy numerator: the number of rows whose RHS
+// value is explained (derivable) under the repaired dependency — per
+// cluster, every row carrying the plurality value except one
+// representative. It is always ≥ 0 since each cluster's plurality count
+// is ≥ 1.
+func (mc MeasureCounts) RedundantRows() int {
+	return mc.Covered - mc.ViolatingRows - mc.Clusters
 }
 
 // MeasureScratch is the reusable state of the measure kernel. Labels of
@@ -103,6 +118,7 @@ func (e *Encoded) CountViolationsWith(part StrippedPartition, a int, sc *Measure
 		mc.ViolatingPairs += size*size - sqSum
 		mc.GroupSqSum += float64(sqSum) / float64(size)
 		mc.Covered += len(cluster)
+		mc.Clusters++
 	}
 	sc.touched = touched[:0]
 	return mc

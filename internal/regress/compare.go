@@ -122,7 +122,72 @@ func Diff(base, cur *Baseline, th Thresholds) *DiffResult {
 	diffAFD(d, base.AFD, cur.AFD)
 	diffEnsemble(d, base.Ensemble, cur.Ensemble)
 	diffIncremental(d, base.Incremental, cur.Incremental)
+	diffQuality(d, base.Quality, cur.Quality)
 	return d
+}
+
+// diffQuality exact-match gates the data-quality cell: the redundancy
+// ranking strings, the violation and repair tallies, and the rendered
+// decomposition must reproduce the baseline.
+func diffQuality(d *DiffResult, base, cur *QualityCell) {
+	switch {
+	case base == nil && cur == nil:
+		return
+	case base == nil:
+		d.Warnings = append(d.Warnings, Finding{
+			Dataset: cur.Dataset, Field: "quality", Kind: "suite",
+			Note: "not in baseline (new quality cell; re-record to start gating it)",
+		})
+		return
+	case cur == nil:
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: base.Dataset, Field: "quality", Kind: "suite",
+			Note: "baseline quality cell missing from current run",
+		})
+		return
+	}
+	if base.Dataset != cur.Dataset || base.TopK != cur.TopK {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "quality", Kind: "accuracy",
+			Note: fmt.Sprintf("quality cell inputs changed: %s/k=%d → %s/k=%d",
+				base.Dataset, base.TopK, cur.Dataset, cur.TopK),
+		})
+		return
+	}
+	if base.ViolatingRows != cur.ViolatingRows || base.RepairCost != cur.RepairCost {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "quality",
+			Base: float64(base.ViolatingRows), Got: float64(cur.ViolatingRows),
+			Kind: "accuracy",
+			Note: fmt.Sprintf("violation tallies drift: rows %d→%d cost %d→%d",
+				base.ViolatingRows, cur.ViolatingRows, base.RepairCost, cur.RepairCost),
+		})
+		return
+	}
+	if base.Decomposition != cur.Decomposition {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "quality", Kind: "accuracy",
+			Note: fmt.Sprintf("decomposition advice drift: %q → %q", base.Decomposition, cur.Decomposition),
+		})
+		return
+	}
+	if len(base.Ranked) != len(cur.Ranked) {
+		d.Regressions = append(d.Regressions, Finding{
+			Dataset: cur.Dataset, Field: "quality",
+			Base: float64(len(base.Ranked)), Got: float64(len(cur.Ranked)),
+			Kind: "accuracy", Note: "redundancy ranking size drift: deterministic ranking changed",
+		})
+		return
+	}
+	for i := range base.Ranked {
+		if base.Ranked[i] != cur.Ranked[i] {
+			d.Regressions = append(d.Regressions, Finding{
+				Dataset: cur.Dataset, Field: "quality", Kind: "accuracy",
+				Note: fmt.Sprintf("redundancy ranking drift at %d: %q → %q", i, base.Ranked[i], cur.Ranked[i]),
+			})
+			return
+		}
+	}
 }
 
 // diffIncremental exact-match gates the mutation-maintenance cell: the

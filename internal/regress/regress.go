@@ -34,6 +34,7 @@ import (
 	"eulerfd/internal/gen"
 	"eulerfd/internal/metrics"
 	"eulerfd/internal/preprocess"
+	"eulerfd/internal/quality"
 	"eulerfd/internal/regress/report"
 	"eulerfd/internal/timing"
 )
@@ -135,6 +136,9 @@ type Baseline struct {
 	// Incremental is the mutation-maintenance cell; omitted by baselines
 	// recorded before the mutation log existed (Diff then only warns).
 	Incremental *IncrementalCell `json:"incremental,omitempty"`
+	// Quality is the data-quality report cell; omitted by baselines
+	// recorded before the quality subsystem existed (Diff then only warns).
+	Quality *QualityCell `json:"quality,omitempty"`
 }
 
 // AFDCell is the approximate-FD regression cell: threshold discovery on
@@ -228,9 +232,10 @@ func runEnsembleCell() *EnsembleCell {
 // IncrementalCell is the mutation-maintenance regression cell: one
 // fixed corpus driven through bootstrap → mixed batch (delete, update,
 // append) → final append, with the maintained cover rendered in
-// canonical order. Gated by exact match — the delta engine's scan is
-// sequential and its cover patch merges deterministically, so the cover
-// is bit-identical across runs, machines, and Workers values.
+// canonical order. Gated by exact match — the delta engine's parallel
+// scan merges chunks in position order and its cover patch merges
+// deterministically, so the cover is bit-identical across runs,
+// machines, and Workers values.
 type IncrementalCell struct {
 	Dataset string   `json:"dataset"`
 	Version int64    `json:"version"`
@@ -276,6 +281,59 @@ func runIncrementalCell() *IncrementalCell {
 	cell := &IncrementalCell{Dataset: incCellCorpus, Version: inc.Version(), Rows: inc.NumRows()}
 	for _, f := range inc.FDs().Slice() {
 		cell.FDs = append(cell.FDs, f.Format(rel.Attrs))
+	}
+	return cell
+}
+
+// QualityCell is the data-quality regression cell: the full
+// quality.Analyze pipeline (redundancy ranking, violation tallies,
+// repair cost, normalization advice) on one fixed corpus at a fixed k.
+// Gated by exact match — the ranking walks candidates in canonical
+// order, cluster walks are first-occurrence ordered, and scores divide
+// integer tallies once at the end, so every rendered string is
+// bit-identical across runs, machines, and Workers values.
+type QualityCell struct {
+	Dataset       string   `json:"dataset"`
+	TopK          int      `json:"top_k"`
+	Ranked        []string `json:"ranked"` // "lhs -> rhs score=… redundant=… exact=…" in rank order
+	ViolatingRows int      `json:"violating_rows"`
+	RepairCost    int      `json:"repair_cost"`
+	Decomposition string   `json:"decomposition"`
+}
+
+// qualityCellCorpus/TopK pin the quality cell's inputs. bridges is dirty
+// enough that the top of the redundancy ranking mixes exact and near
+// dependencies, so violations, repairs, and the decomposition advice are
+// all non-trivially exercised.
+const (
+	qualityCellCorpus = "bridges"
+	qualityCellTopK   = 3
+)
+
+// runQualityCell measures the data-quality regression cell.
+func runQualityCell() *QualityCell {
+	d, err := datasets.ByName(qualityCellCorpus)
+	if err != nil {
+		panic(err) // registry name is a compile-time constant here
+	}
+	enc := preprocess.Encode(d.Build())
+	cover, _ := core.DiscoverEncoded(enc, core.DefaultOptions())
+	qopt := quality.DefaultOptions()
+	qopt.TopK = qualityCellTopK
+	rep, err := quality.Analyze(context.Background(), enc, cover, nil, qopt)
+	if err != nil {
+		panic(fmt.Sprintf("regress: quality cell failed: %v", err)) // background ctx, valid options
+	}
+	cell := &QualityCell{
+		Dataset:       qualityCellCorpus,
+		TopK:          qualityCellTopK,
+		ViolatingRows: rep.TotalViolatingRows,
+		RepairCost:    rep.TotalRepairCost,
+		Decomposition: rep.Normalization.FormatDecomposition(enc.Attrs),
+	}
+	for _, r := range rep.Ranked {
+		cell.Ranked = append(cell.Ranked, fmt.Sprintf("%s score=%.9f redundant=%d exact=%v",
+			r.FD.Format(enc.Attrs), r.Score, r.RedundantRows, r.Exact))
 	}
 	return cell
 }
@@ -339,6 +397,11 @@ func Run(suite []Source, cfg Config, w io.Writer) *Baseline {
 	if w != nil {
 		fmt.Fprintf(w, "incremental:%-12s version=%d rows=%d fds=%d\n",
 			b.Incremental.Dataset, b.Incremental.Version, b.Incremental.Rows, len(b.Incremental.FDs))
+	}
+	b.Quality = runQualityCell()
+	if w != nil {
+		fmt.Fprintf(w, "quality:%-16s k=%d violating_rows=%d repair_cost=%d decomposition=%s\n",
+			b.Quality.Dataset, b.Quality.TopK, b.Quality.ViolatingRows, b.Quality.RepairCost, b.Quality.Decomposition)
 	}
 	return b
 }

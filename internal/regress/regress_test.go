@@ -60,6 +60,16 @@ func TestRunIsDeterministic(t *testing.T) {
 	if a.Ensemble.Dataset != ensembleCellCorpus || len(a.Ensemble.FDs) == 0 {
 		t.Errorf("ensemble cell = %+v", a.Ensemble)
 	}
+	// And the quality cell's rendered ranking.
+	if a.Quality == nil || b.Quality == nil {
+		t.Fatal("Run produced no quality cell")
+	}
+	if !reflect.DeepEqual(a.Quality, b.Quality) {
+		t.Errorf("quality cell differs across runs:\n%+v\n%+v", a.Quality, b.Quality)
+	}
+	if a.Quality.Dataset != qualityCellCorpus || len(a.Quality.Ranked) == 0 || a.Quality.Decomposition == "" {
+		t.Errorf("quality cell = %+v", a.Quality)
+	}
 }
 
 func TestDiffEnsemble(t *testing.T) {
@@ -142,6 +152,63 @@ func TestDiffAFD(t *testing.T) {
 	d := Diff(base, cur, DefaultThresholds())
 	if !d.Clean() || len(d.Warnings) == 0 {
 		t.Errorf("new AFD cell should warn, not gate: %+v", d.Regressions)
+	}
+}
+
+func TestDiffQuality(t *testing.T) {
+	cell := func() *QualityCell {
+		return &QualityCell{Dataset: "bridges", TopK: 3,
+			Ranked: []string{
+				"[A] -> B score=0.812500000 redundant=13 exact=true",
+				"[C] -> D score=0.400000000 redundant=6 exact=false",
+			},
+			ViolatingRows: 9, RepairCost: 4,
+			Decomposition: "R1[A B] ⋈ R2[B C D]"}
+	}
+	base, cur := synthetic(), synthetic()
+	base.Quality, cur.Quality = cell(), cell()
+	if d := Diff(base, cur, DefaultThresholds()); !d.Clean() {
+		t.Fatalf("identical quality cells diffed dirty: %+v", d.Regressions)
+	}
+	// A single ranking digit drift is a regression.
+	cur.Quality.Ranked[1] = "[C] -> D score=0.400000001 redundant=6 exact=false"
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("ranking drift not gated")
+	}
+	// Ranking size drift is a regression.
+	cur.Quality = cell()
+	cur.Quality.Ranked = cur.Quality.Ranked[:1]
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("ranking size drift not gated")
+	}
+	// Violation tally drift is a regression.
+	cur.Quality = cell()
+	cur.Quality.RepairCost = 5
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("repair cost drift not gated")
+	}
+	// Decomposition advice drift is a regression.
+	cur.Quality = cell()
+	cur.Quality.Decomposition = "BCNF"
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("decomposition drift not gated")
+	}
+	// Changed cell inputs are a regression.
+	cur.Quality = cell()
+	cur.Quality.TopK = 5
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("input drift not gated")
+	}
+	// Missing from the current run: regression. Missing from the
+	// baseline (pre-quality recording): warning only.
+	cur.Quality = nil
+	if d := Diff(base, cur, DefaultThresholds()); d.Clean() {
+		t.Error("missing quality cell not gated")
+	}
+	base.Quality, cur.Quality = nil, cell()
+	d := Diff(base, cur, DefaultThresholds())
+	if !d.Clean() || len(d.Warnings) == 0 {
+		t.Errorf("new quality cell should warn, not gate: %+v", d.Regressions)
 	}
 }
 

@@ -39,6 +39,7 @@ import (
 	"eulerfd/internal/ensemble"
 	"eulerfd/internal/fdset"
 	"eulerfd/internal/infer"
+	"eulerfd/internal/quality"
 )
 
 // Config bounds the service.
@@ -121,6 +122,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/closure", s.handleClosure)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/keys", s.handleKeys)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/quality", s.handleQuality)
 	if cfg.Pprof {
 		// Explicit registrations on the server's own mux; the package-level
 		// side registrations on http.DefaultServeMux are never served.
@@ -746,6 +748,87 @@ func (s *Server) handleAFDs(w http.ResponseWriter, r *http.Request) {
 	doc.Count = len(scored)
 	doc.FDs = scored
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleQuality answers GET /v1/sessions/{id}/quality with the full
+// data-quality report over the last committed snapshot: the
+// redundancy-ranked top-k (?k=, default 5), per-dependency violating
+// clusters and repair plans bounded by ?clusters= and ?rows=, and
+// normalization advice from the exact cover. Building the report ranks
+// the whole cover, so the request is compute-bound like discovery jobs:
+// it shares the job-concurrency semaphore, counts toward Drain, and
+// honors the request context (a disconnect answers 499 at the next
+// pipeline boundary). ?min_version= gives the same read barrier as
+// /fds; the report's version field stamps the snapshot it describes.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.getSession(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	opt := quality.DefaultOptions()
+	for _, knob := range []struct {
+		name string
+		dst  *int
+	}{{"k", &opt.TopK}, {"clusters", &opt.MaxClusters}, {"rows", &opt.MaxRows}} {
+		v := q.Get(knob.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("%s must be an integer, got %q", knob.name, v))
+			return
+		}
+		*knob.dst = n
+	}
+	if err := opt.Validate(); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !minVersionOK(w, r, sess) {
+		return
+	}
+	scorer, ready := sess.afdScorer(0)
+	if !ready {
+		writeError(w, http.StatusConflict, "no completed result yet")
+		return
+	}
+	cover, _, _, version, _ := sess.snapshotResult()
+	enc, _ := sess.snapshotEncoded()
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	select {
+	case s.slots <- struct{}{}:
+	case <-r.Context().Done():
+		writeError(w, StatusClientClosedRequest, r.Context().Err().Error())
+		return
+	}
+	defer func() { <-s.slots }()
+
+	rep, err := quality.Analyze(r.Context(), enc, cover, scorer, opt)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		writeError(w, StatusClientClosedRequest, err.Error())
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rep.Version = version
+	writeJSON(w, http.StatusOK, (*qualityDoc)(rep))
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ import (
 
 	"eulerfd/internal/core"
 	"eulerfd/internal/fdset"
+	"eulerfd/internal/quality"
 )
 
 // StatusClientClosedRequest is the nginx-convention status for a request
@@ -151,6 +152,14 @@ type statsDoc struct {
 	NextID  int64      `json:"next_id"`
 	Stats   core.Stats `json:"stats"`
 }
+
+// qualityDoc answers GET /v1/sessions/{id}/quality. The body is the
+// pinned quality.Report wire shape — ranked dependencies, violating
+// clusters, repair plans, normalization advice — with the version field
+// stamped from the session's committed mutation-log position, so
+// ?min_version= readers can correlate the report with the snapshot it
+// describes.
+type qualityDoc = quality.Report
 
 // closureDoc answers an attribute-closure query.
 type closureDoc struct {

@@ -8,8 +8,8 @@ import (
 
 func TestAlgorithmsRegistry(t *testing.T) {
 	infos := Algorithms()
-	if len(infos) != 13 {
-		t.Fatalf("Algorithms() = %d entries, want 13", len(infos))
+	if len(infos) != 14 {
+		t.Fatalf("Algorithms() = %d entries, want 14", len(infos))
 	}
 	if infos[0].ID != AlgoEuler {
 		t.Errorf("first registered algorithm = %q, want %q", infos[0].ID, AlgoEuler)
@@ -18,7 +18,7 @@ func TestAlgorithmsRegistry(t *testing.T) {
 		AlgoEuler: false, AlgoEulerEnsemble: false, AlgoHyFD: true, AlgoTANE: true, AlgoFun: true,
 		AlgoDfd: true, AlgoFdep: true, AlgoDepMiner: true, AlgoFastFDs: true,
 		AlgoAIDFD: false, AlgoKivinen: false,
-		AlgoAFDg3: false, AlgoAFDTopK: false,
+		AlgoAFDg3: false, AlgoAFDTopK: false, AlgoAFDRedundancy: false,
 	}
 	seen := map[AlgoID]bool{}
 	for _, info := range infos {
